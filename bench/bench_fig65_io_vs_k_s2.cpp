@@ -1,0 +1,97 @@
+// Figure 6.5: source I/O versus number of updates k under Scenario 2
+// (no indexes, 3 buffer blocks, blocked nested loops).
+//
+// Paper curves: RV best I^3, RV worst kI^3, ECA best kII', ECA worst
+// kII' + Ik(k-1)/3; crossover ECA-worst vs RV-best at 5 < k < 8. The
+// storage simulator also charges each outer block load, which the paper's
+// leading-term derivation drops; the "op" columns give those refined
+// forms (recompute: I + I^2 + I^3; per-update term: I + II'), which the
+// measured values match exactly. C = 94 is used for the measured runs so
+// the inserted tuples do not bump the block counts mid-run (I and I' stay
+// at the paper's 5 and 3).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "harness.h"
+
+namespace wvm::bench {
+namespace {
+
+constexpr int64_t kMeasuredC = 94;
+
+int64_t MeasureIo(const CaseConfig& config) {
+  Result<CaseResult> r = RunCase(config);
+  if (!r.ok()) {
+    std::cerr << "run failed: " << r.status() << "\n";
+    return -1;
+  }
+  return r->io;
+}
+
+CaseConfig S2Config(int64_t k) {
+  CaseConfig config;
+  config.cardinality = kMeasuredC;
+  config.k = k;
+  config.scenario = PhysicalScenario::kNestedLoopLimited;
+  return config;
+}
+
+}  // namespace
+
+void PrintFigure() {
+  PrintTableHeader(
+      "Figure 6.5: IO versus k, Scenario 2 — paper model vs measured",
+      {"k", "RVbest", "RVbest(op)", "RVbest(m)", "RVworst", "ECAbest",
+       "ECAbest(op)", "ECAbest(m)", "ECAworst", "ECAworst(m)"});
+  analytic::Params p;  // I=5, I'=3, identical for C=94 and C=100
+  for (int64_t k : {1, 3, 5, 7, 9, 11}) {
+    CaseConfig rv_best = S2Config(k);
+    rv_best.algorithm = Algorithm::kRv;
+    rv_best.rv_period = static_cast<int>(k);
+    CaseConfig eca_best = S2Config(k);
+    CaseConfig eca_worst = S2Config(k);
+    eca_worst.order = Order::kWorst;
+
+    PrintTableRow(
+        {Num(k), Num(analytic::IoRvBestS2(p, k)),
+         Num(analytic::IoRecomputeS2Operational(p)), Num(MeasureIo(rv_best)),
+         Num(analytic::IoRvWorstS2(p, k)), Num(analytic::IoEcaBestS2(p, k)),
+         Num(k * analytic::IoTwoUnboundTermS2Operational(p)),
+         Num(MeasureIo(eca_best)), Num(analytic::IoEcaWorstS2(p, k)),
+         Num(MeasureIo(eca_worst))});
+  }
+  std::cout << "(crossover: ECAworst vs RVbest between k=5 and k=8)\n";
+}
+
+namespace {
+
+void BM_Fig65(benchmark::State& state) {
+  CaseConfig config = S2Config(state.range(0));
+  config.order = state.range(1) != 0 ? Order::kWorst : Order::kBest;
+  int64_t io = 0;
+  for (auto _ : state) {
+    Result<CaseResult> r = RunCase(config);
+    if (r.ok()) {
+      io = r->io;
+    }
+    benchmark::DoNotOptimize(io);
+  }
+  state.counters["IO"] = static_cast<double>(io);
+}
+BENCHMARK(BM_Fig65)
+    ->ArgNames({"k", "worst"})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({11, 0})
+    ->Args({11, 1});
+
+}  // namespace
+}  // namespace wvm::bench
+
+int main(int argc, char** argv) {
+  wvm::bench::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

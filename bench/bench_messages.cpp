@@ -1,0 +1,77 @@
+// Section 6.1: number of messages M between source and warehouse.
+//
+// M_RV = 2*ceil(k/s) (one query + one answer per recomputation), M_ECA = 2k
+// (one round trip per update). Update notifications are identical in both
+// and excluded, as in the paper. The measured column is exact: message
+// counting has no stochastic component.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "harness.h"
+
+namespace wvm::bench {
+namespace {
+
+int64_t MeasureMessages(Algorithm algorithm, int64_t k, int s) {
+  CaseConfig config;
+  config.algorithm = algorithm;
+  config.k = k;
+  config.rv_period = s;
+  config.order = Order::kWorst;  // message counts are order-independent
+  Result<CaseResult> r = RunCase(config);
+  if (!r.ok()) {
+    std::cerr << "run failed: " << r.status() << "\n";
+    return -1;
+  }
+  return r->messages;
+}
+
+}  // namespace
+
+void PrintFigure() {
+  PrintTableHeader(
+      "Section 6.1: messages M — paper model vs measured",
+      {"k", "s", "M_RV", "M_RV(m)", "M_ECA", "M_ECA(m)"});
+  struct Row {
+    int64_t k;
+    int s;
+  } rows[] = {{1, 1},  {6, 1},  {6, 3},  {6, 6},
+              {30, 1}, {30, 5}, {30, 30}, {120, 120}};
+  for (const Row& row : rows) {
+    PrintTableRow({Num(row.k), Num(row.s),
+                   Num(analytic::MessagesRv(row.k, row.s)),
+                   Num(MeasureMessages(Algorithm::kRv, row.k, row.s)),
+                   Num(analytic::MessagesEca(row.k)),
+                   Num(MeasureMessages(Algorithm::kEca, row.k, 1))});
+  }
+  std::cout << "(RV spans 2 to 2k messages depending on s; ECA always "
+               "pays 2k but each answer is incremental)\n";
+}
+
+namespace {
+
+void BM_Messages(benchmark::State& state) {
+  const bool eca = state.range(1) == 0;
+  int64_t messages = 0;
+  for (auto _ : state) {
+    messages = MeasureMessages(eca ? Algorithm::kEca : Algorithm::kRv,
+                               state.range(0), 1);
+    benchmark::DoNotOptimize(messages);
+  }
+  state.counters["M"] = static_cast<double>(messages);
+}
+BENCHMARK(BM_Messages)
+    ->ArgNames({"k", "rv"})
+    ->Args({30, 0})
+    ->Args({30, 1});
+
+}  // namespace
+}  // namespace wvm::bench
+
+int main(int argc, char** argv) {
+  wvm::bench::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// The paper's closing performance remark (Section 6.3): "our results are
+// for a particular three-relation view. In spite of this, we believe that
+// our results are indicative... when the view involves more relations, ECA
+// should still generally outperform RV."
+//
+// This benchmark tests that extrapolation: chain views of n = 2..6
+// relations, k = n round-robin inserts each, best-case interleaving,
+// Scenario 1 source. ECA's cost stays per-update-local (a few probes per
+// update) while RV's recomputation scans every relation and ships a view
+// whose size grows with the chain's join product.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/strings.h"
+#include "harness.h"
+#include "sim/policies.h"
+#include "sim/simulation.h"
+#include "workload/generator.h"
+
+namespace wvm::bench {
+namespace {
+
+struct SweepResult {
+  int64_t bytes = 0;
+  int64_t io = 0;
+};
+
+SweepResult RunChain(int num_relations, Algorithm algorithm, int rv_period) {
+  Random rng(23);
+  Result<Workload> w = MakeChainWorkload(
+      {num_relations, /*cardinality=*/60, /*join_factor=*/3}, &rng);
+  if (!w.ok()) {
+    std::cerr << w.status() << "\n";
+    return SweepResult{};
+  }
+  Result<std::vector<Update>> updates =
+      MakeRoundRobinInserts(*w, 2 * num_relations, &rng);
+  if (!updates.ok()) {
+    std::cerr << updates.status() << "\n";
+    return SweepResult{};
+  }
+  SimulationOptions options;
+  options.bytes_per_tuple = 4;
+  options.indexes = w->scenario1_indexes;
+  Result<std::unique_ptr<ViewMaintainer>> maintainer =
+      MakeMaintainer(algorithm, w->view, rv_period);
+  if (!maintainer.ok()) {
+    std::cerr << maintainer.status() << "\n";
+    return SweepResult{};
+  }
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      w->initial, w->view, std::move(*maintainer), options);
+  if (!sim.ok()) {
+    std::cerr << sim.status() << "\n";
+    return SweepResult{};
+  }
+  (*sim)->SetUpdateScript(*updates);
+  BestCasePolicy policy;
+  Status run = RunToQuiescence(sim->get(), &policy);
+  if (!run.ok()) {
+    std::cerr << run << "\n";
+    return SweepResult{};
+  }
+  return SweepResult{(*sim)->meter().bytes_transferred(),
+                     (*sim)->io_stats().page_reads};
+}
+
+}  // namespace
+
+void PrintFigure() {
+  PrintTableHeader(
+      "Chain length sweep: ECA vs recompute-once RV "
+      "(C=60, J=3, k=2n inserts, Scenario 1)",
+      {"relations", "ECA B", "RV B", "ECA IO", "RV IO"});
+  for (int n = 2; n <= 6; ++n) {
+    SweepResult eca = RunChain(n, Algorithm::kEca, 1);
+    SweepResult rv = RunChain(n, Algorithm::kRv, 2 * n);
+    PrintTableRow({Num(n), Num(eca.bytes), Num(rv.bytes), Num(eca.io),
+                   Num(rv.io)});
+  }
+  std::cout << "(bytes: the view — and RV's shipping cost — grows with the "
+               "join product while ECA's\n per-update deltas stay small, so "
+               "the paper's extrapolation holds at every n. IO: with\n "
+               "k=2n>3 updates the windows sit beyond Figure 6.4's k=3 "
+               "crossover, so recompute-once\n RV wins I/O here exactly as "
+               "the three-relation analysis predicts.)\n";
+}
+
+namespace {
+
+void BM_ChainSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool rv = state.range(1) != 0;
+  for (auto _ : state) {
+    SweepResult r = RunChain(n, rv ? Algorithm::kRv : Algorithm::kEca,
+                             rv ? 2 * n : 1);
+    benchmark::DoNotOptimize(r);
+    state.counters["B"] = static_cast<double>(r.bytes);
+    state.counters["IO"] = static_cast<double>(r.io);
+  }
+}
+BENCHMARK(BM_ChainSweep)
+    ->ArgNames({"n", "rv"})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({5, 0})
+    ->Args({5, 1});
+
+}  // namespace
+}  // namespace wvm::bench
+
+int main(int argc, char** argv) {
+  wvm::bench::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

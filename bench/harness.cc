@@ -1,0 +1,125 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "consistency/checker.h"
+#include "sim/policies.h"
+#include "sim/simulation.h"
+#include "workload/generator.h"
+
+namespace wvm::bench {
+
+Result<CaseResult> RunCase(const CaseConfig& config) {
+  Random rng(config.seed);
+  WVM_ASSIGN_OR_RETURN(
+      Workload workload,
+      MakeExample6Workload({config.cardinality, config.join_factor}, &rng));
+
+  std::vector<Update> updates;
+  switch (config.stream) {
+    case Stream::kRoundRobinInserts: {
+      WVM_ASSIGN_OR_RETURN(updates,
+                           MakeRoundRobinInserts(workload, config.k, &rng));
+      break;
+    }
+    case Stream::kCorrelatedInserts: {
+      WVM_ASSIGN_OR_RETURN(updates,
+                           MakeCorrelatedInserts(workload, config.k, &rng));
+      break;
+    }
+    case Stream::kMixed: {
+      WVM_ASSIGN_OR_RETURN(updates,
+                           MakeMixedUpdates(workload, config.k, 0.35, &rng));
+      break;
+    }
+  }
+
+  SimulationOptions options;
+  options.bytes_per_tuple = 4;  // S of Table 1
+  options.physical.scenario = config.scenario;
+  options.physical.tuples_per_block = config.tuples_per_block;
+  options.physical.cache_within_query = config.cache_within_query;
+  options.physical.optimize_terms = config.optimize_terms;
+  options.batch_size = config.batch_size;
+  if (config.scenario == PhysicalScenario::kIndexedMemory) {
+    options.indexes = workload.scenario1_indexes;
+  }
+
+  WVM_ASSIGN_OR_RETURN(
+      std::unique_ptr<ViewMaintainer> maintainer,
+      MakeMaintainer(config.algorithm, workload.view, config.rv_period));
+  WVM_ASSIGN_OR_RETURN(
+      std::unique_ptr<Simulation> sim,
+      Simulation::Create(workload.initial, workload.view,
+                         std::move(maintainer), options));
+  sim->SetUpdateScript(std::move(updates));
+
+  switch (config.order) {
+    case Order::kBest: {
+      BestCasePolicy policy;
+      WVM_RETURN_IF_ERROR(RunToQuiescence(sim.get(), &policy));
+      break;
+    }
+    case Order::kWorst: {
+      WorstCasePolicy policy;
+      WVM_RETURN_IF_ERROR(RunToQuiescence(sim.get(), &policy));
+      break;
+    }
+    case Order::kRandom: {
+      RandomPolicy policy(config.seed);
+      WVM_RETURN_IF_ERROR(RunToQuiescence(sim.get(), &policy));
+      break;
+    }
+  }
+
+  ConsistencyReport report = CheckConsistency(sim->state_log());
+  CaseResult result;
+  result.messages = sim->meter().messages();
+  result.notifications = sim->meter().notifications();
+  result.bytes = sim->meter().bytes_transferred();
+  result.io = sim->io_stats().page_reads;
+  result.query_terms = sim->meter().query_terms();
+  result.convergent = report.convergent;
+  result.strongly_consistent = report.strongly_consistent;
+  result.complete = report.complete;
+  result.final_view_size =
+      StrCat(sim->warehouse_view().TotalPositive(), " tuples");
+  return result;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::cout << "\n== " << title << " ==\n";
+  for (const std::string& c : columns) {
+    std::printf("%14s", c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%14s", "------------");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) {
+    std::printf("%14s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Num(double v) {
+  std::ostringstream os;
+  if (v == static_cast<int64_t>(v)) {
+    os << static_cast<int64_t>(v);
+  } else {
+    os.precision(1);
+    os << std::fixed << v;
+  }
+  return os.str();
+}
+
+}  // namespace wvm::bench

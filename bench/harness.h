@@ -1,0 +1,74 @@
+#ifndef WVM_BENCH_HARNESS_H_
+#define WVM_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/cost_model.h"
+#include "common/result.h"
+#include "core/factory.h"
+#include "source/physical_evaluator.h"
+
+namespace wvm::bench {
+
+/// Which update stream the source executes.
+enum class Stream {
+  /// k single-tuple inserts cycling r1, r2, r3 with join attributes drawn
+  /// from the live domain (the Appendix D k-update scenario).
+  kRoundRobinInserts,
+  /// Like the above but sharing hot join values so every cross-relation
+  /// pair of updates joins — the idealization behind the ECA worst-case
+  /// byte formulas.
+  kCorrelatedInserts,
+  /// Mixed inserts/deletes (35% deletes) for the correctness benchmarks.
+  kMixed,
+};
+
+/// Which interleaving drives the run.
+enum class Order { kBest, kWorst, kRandom };
+
+/// One benchmark cell: an algorithm, a workload, an interleaving.
+struct CaseConfig {
+  Algorithm algorithm = Algorithm::kEca;
+  int64_t cardinality = 100;  // C
+  int64_t join_factor = 4;    // J
+  int64_t k = 3;              // number of updates
+  Stream stream = Stream::kRoundRobinInserts;
+  Order order = Order::kBest;
+  PhysicalScenario scenario = PhysicalScenario::kIndexedMemory;
+  int tuples_per_block = 20;  // K
+  int rv_period = 1;          // s (RV only)
+  int batch_size = 1;
+  uint64_t seed = 17;
+  /// Section 6.3 extensions (see PhysicalConfig).
+  bool cache_within_query = false;
+  bool optimize_terms = false;
+};
+
+/// Measured outcome of one run.
+struct CaseResult {
+  int64_t messages = 0;
+  int64_t notifications = 0;
+  int64_t bytes = 0;
+  int64_t io = 0;
+  int64_t query_terms = 0;
+  bool convergent = false;
+  bool strongly_consistent = false;
+  bool complete = false;
+  std::string final_view_size;
+};
+
+/// Builds the Example 6 workload, runs the configured case to quiescence,
+/// and returns the meters plus the consistency verdicts.
+Result<CaseResult> RunCase(const CaseConfig& config);
+
+/// Fixed-width helpers for the paper-style tables the bench binaries print.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string Num(double v);
+
+}  // namespace wvm::bench
+
+#endif  // WVM_BENCH_HARNESS_H_

@@ -1,0 +1,61 @@
+// The ECA-vs-RV advisor as a command-line tool: feed it the Table 1
+// parameters of your warehouse and the expected number of updates per
+// maintenance window, get the crossover points and a recommendation per
+// cost factor — the practical answer to Section 6's "when is it more
+// effective to recompute the entire view?".
+//
+//   $ ./advisor            # Table 1 defaults, sweep over k
+//   $ ./advisor C J K k    # e.g. ./advisor 1000 4 20 50
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analytic/advisor.h"
+
+using namespace wvm;
+using namespace wvm::analytic;
+
+int main(int argc, char** argv) {
+  Params params;
+  int64_t k = -1;
+  if (argc >= 4) {
+    params.C = std::atof(argv[1]);
+    params.J = std::atof(argv[2]);
+    params.K = std::atoi(argv[3]);
+  }
+  if (argc >= 5) {
+    k = std::atoll(argv[4]);
+  }
+
+  std::cout << "parameters: " << params.ToString() << "\n";
+  Crossovers x = ComputeCrossovers(params);
+  std::cout << "crossovers (ECA cheaper below, recompute-once RV above):\n";
+  std::printf("  bytes:        ECA-best vs RV at k=%.1f, ECA-worst at k=%.1f\n",
+              x.bytes_best, x.bytes_worst);
+  std::printf("  IO Scenario1: ECA-best vs RV at k=%.1f, ECA-worst at k=%.1f\n",
+              x.io_s1_best, x.io_s1_worst);
+  std::printf("  IO Scenario2: ECA-best vs RV at k=%.1f, ECA-worst at k=%.1f\n",
+              x.io_s2_best, x.io_s2_worst);
+
+  auto print_advice = [&](int64_t window) {
+    Advice s1 = Advise(params, window, PhysicalScenario::kIndexedMemory);
+    Advice s2 = Advise(params, window, PhysicalScenario::kNestedLoopLimited);
+    std::printf("  k=%-6lld bytes->%-24s io(S1)->%-24s io(S2)->%s\n",
+                static_cast<long long>(window), ChoiceName(s1.by_bytes),
+                ChoiceName(s1.by_io), ChoiceName(s2.by_io));
+  };
+
+  std::cout << "\nrecommendations:\n";
+  if (k >= 0) {
+    print_advice(k);
+  } else {
+    for (int64_t window : {1, 3, 8, 15, 30, 60, 100, 150, 300}) {
+      print_advice(window);
+    }
+  }
+  std::cout << "\n('depends-on-interleaving': between the best/worst "
+               "envelopes of Figures 6.3-6.5 —\n the tighter the coupling "
+               "between updates and query answering, the better ECA "
+               "fares)\n";
+  return 0;
+}

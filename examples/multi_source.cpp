@@ -1,0 +1,152 @@
+// The multi-source frontier (Section 7 future work): what happens when a
+// single warehouse view spans relations owned by SEVERAL autonomous
+// sources, each with its own FIFO channel but no cross-source ordering.
+//
+// Demonstrates empirically, over seeded random interleavings:
+//   * two sources (one unbound relation per query term): the naive
+//     ECA transplant stays strongly consistent — each query's answer rides
+//     the FIFO of the only source it visits, behind pending notifications;
+//   * three sources (terms span two other sources): mixed-state snapshots
+//     break even convergence — the anomaly class the authors' follow-up
+//     (Strobe) was created for;
+//   * store-copies across sources: always convergent with zero queries,
+//     but intermediate states mix per-source prefixes, losing consistency.
+//
+//   $ ./multi_source [seeds]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "consistency/checker.h"
+#include "multisource/ms_eca.h"
+#include "multisource/ms_eca_snapshot.h"
+#include "multisource/ms_sc.h"
+#include "multisource/ms_simulation.h"
+
+using namespace wvm;
+
+namespace {
+
+struct Tally {
+  int runs = 0;
+  int convergent = 0;
+  int weak = 0;
+  int strong = 0;
+};
+
+const char* Rate(int hits, int runs) {
+  static char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%d/%d", hits, runs);
+  return buffer;
+}
+
+// Two-source setup: A{r1}, B{r2}, V = pi_{W,Y}(r1 |x| r2).
+template <typename Maintainer>
+Tally RunTwoSource(int seeds) {
+  Tally tally;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Schema s1 = Schema::Ints({"W", "X"});
+    Schema s2 = Schema::Ints({"X", "Y"});
+    Catalog a, b;
+    WVM_CHECK_OK(a.DefineWithData(
+        {"r1", s1}, Relation::FromTuples(s1, {Tuple::Ints({1, 2})})));
+    WVM_CHECK_OK(b.DefineWithData(
+        {"r2", s2}, Relation::FromTuples(s2, {Tuple::Ints({2, 5})})));
+    auto view = *ViewDefinition::NaturalJoin(
+        "V", {{"r1", s1}, {"r2", s2}}, {"W", "Y"});
+    auto sim = MsSimulation::Create({a, b}, view,
+                                    std::make_unique<Maintainer>(view));
+    WVM_CHECK_OK(sim.status());
+    WVM_CHECK_OK((*sim)->SetUpdateScript(
+        0, {Update::Insert("r1", Tuple::Ints({4, 2})),
+            Update::Delete("r1", Tuple::Ints({1, 2}))}));
+    WVM_CHECK_OK((*sim)->SetUpdateScript(
+        1, {Update::Insert("r2", Tuple::Ints({2, 8})),
+            Update::Delete("r2", Tuple::Ints({2, 5}))}));
+    WVM_CHECK_OK((*sim)->RunRandom(static_cast<uint64_t>(seed)));
+    ConsistencyReport report = CheckConsistency((*sim)->state_log());
+    ++tally.runs;
+    tally.convergent += report.convergent;
+    tally.weak += report.weakly_consistent;
+    tally.strong += report.strongly_consistent;
+  }
+  return tally;
+}
+
+// Three-source chain: A{r1}, B{r2}, C{r3}, V spans all three.
+template <typename Maintainer>
+Tally RunThreeSource(int seeds) {
+  Tally tally;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Schema s1 = Schema::Ints({"W", "X"});
+    Schema s2 = Schema::Ints({"X", "Y"});
+    Schema s3 = Schema::Ints({"Y", "Z"});
+    Catalog a, b, c;
+    WVM_CHECK_OK(a.DefineWithData(
+        {"r1", s1}, Relation::FromTuples(s1, {Tuple::Ints({1, 2}),
+                                              Tuple::Ints({3, 2})})));
+    WVM_CHECK_OK(b.DefineWithData(
+        {"r2", s2}, Relation::FromTuples(s2, {Tuple::Ints({2, 5})})));
+    WVM_CHECK_OK(c.DefineWithData(
+        {"r3", s3}, Relation::FromTuples(s3, {Tuple::Ints({5, 7})})));
+    auto view = *ViewDefinition::NaturalJoin(
+        "V", {{"r1", s1}, {"r2", s2}, {"r3", s3}}, {"W", "Z"});
+    auto sim = MsSimulation::Create({a, b, c}, view,
+                                    std::make_unique<Maintainer>(view));
+    WVM_CHECK_OK(sim.status());
+    WVM_CHECK_OK((*sim)->SetUpdateScript(
+        0, {Update::Insert("r1", Tuple::Ints({9, 2})),
+            Update::Delete("r1", Tuple::Ints({1, 2}))}));
+    WVM_CHECK_OK((*sim)->SetUpdateScript(
+        1, {Update::Insert("r2", Tuple::Ints({2, 6})),
+            Update::Delete("r2", Tuple::Ints({2, 5}))}));
+    WVM_CHECK_OK((*sim)->SetUpdateScript(
+        2, {Update::Insert("r3", Tuple::Ints({6, 1})),
+            Update::Delete("r3", Tuple::Ints({5, 7}))}));
+    WVM_CHECK_OK((*sim)->RunRandom(static_cast<uint64_t>(seed)));
+    ConsistencyReport report = CheckConsistency((*sim)->state_log());
+    ++tally.runs;
+    tally.convergent += report.convergent;
+    tally.weak += report.weakly_consistent;
+    tally.strong += report.strongly_consistent;
+  }
+  return tally;
+}
+
+void Print(const char* label, const Tally& t) {
+  std::printf("%-34s%14s", label, Rate(t.convergent, t.runs));
+  std::printf("%14s", Rate(t.weak, t.runs));
+  std::printf("%14s\n", Rate(t.strong, t.runs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 60;
+  std::cout << "multi-source view maintenance over " << seeds
+            << " random interleavings\n\n";
+  std::printf("%-34s%14s%14s%14s\n", "configuration", "convergent", "weak",
+              "strong");
+
+  Print("ms-eca, 2 sources", RunTwoSource<MsEca>(seeds));
+  Print("ms-sc,  2 sources", RunTwoSource<MsSc>(seeds));
+  Print("ms-eca, 3 sources (chain view)", RunThreeSource<MsEca>(seeds));
+  Print("ms-sc,  3 sources (chain view)", RunThreeSource<MsSc>(seeds));
+  Print("ms-eca-snapshot, 3 sources", RunThreeSource<MsEcaSnapshot>(seeds));
+
+  std::cout
+      << "\nReading: the naive multi-source ECA survives two-source views "
+         "(its per-source answers\ndouble as synchronization barriers) but "
+         "breaks — even losing convergence — once a\nquery term mixes "
+         "snapshots of two other sources; store-copies always converges "
+         "but\nits intermediate states mix per-source prefixes. Both "
+         "failures are the anomaly class\nthe paper's Section 7 reserves "
+         "for future work (solved later by the Strobe family).\n\n"
+         "The constructive fix, within the paper's constraints: because "
+         "the warehouse evaluates\nthe fragment snapshots itself, it can "
+         "apply each compensation to the very snapshot\nit corrects "
+         "(ms-eca-snapshot) — restoring strong consistency for any number "
+         "of sources,\nat the unchanged price of whole-relation "
+         "shipping.\n";
+  return 0;
+}

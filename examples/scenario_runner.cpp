@@ -1,0 +1,63 @@
+// Runs a warehouse maintenance scenario described in the plain-text format
+// of src/script/scenario_parser.h — experiment with algorithms and
+// interleavings without writing C++.
+//
+//   $ ./scenario_runner examples/scenarios/anomaly.wvm
+//   $ ./scenario_runner -            # read from stdin
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "script/scenario_parser.h"
+#include "script/scenario_runner.h"
+
+using namespace wvm;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: scenario_runner FILE|-\n";
+    return 2;
+  }
+  std::string text;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  Result<ScenarioSpec> spec = ParseScenario(text);
+  if (!spec.ok()) {
+    std::cerr << "parse error: " << spec.status() << "\n";
+    return 2;
+  }
+  std::cout << "view:      " << spec->view->ToString() << "\n";
+  std::cout << "algorithm: " << AlgorithmName(spec->algorithm) << "\n\n";
+
+  Result<ScenarioOutcome> outcome = RunScenario(*spec);
+  if (!outcome.ok()) {
+    std::cerr << "run error: " << outcome.status() << "\n";
+    return 2;
+  }
+  std::cout << outcome->trace << "\n";
+  std::cout << "final warehouse view:     " << outcome->final_view.ToString()
+            << "\n";
+  std::cout << "view evaluated at source: " << outcome->source_view.ToString()
+            << "\n";
+  std::cout << "consistency: " << outcome->consistency.ToString() << "\n";
+  std::cout << "cost:        " << outcome->cost << "\n";
+  if (outcome->expectation_met.has_value()) {
+    std::cout << "expectation: "
+              << (*outcome->expectation_met ? "MET" : "NOT MET") << "\n";
+    return *outcome->expectation_met ? 0 : 1;
+  }
+  return 0;
+}

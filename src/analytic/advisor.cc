@@ -1,0 +1,107 @@
+#include "analytic/advisor.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace wvm::analytic {
+
+namespace {
+
+// Smallest positive k with a*k^2 + b*k + c = 0 (quadratic crossovers of
+// the worst-case forms); 0 if none.
+double PositiveRoot(double a, double b, double c) {
+  if (a == 0) {
+    return b != 0 ? std::max(0.0, -c / b) : 0.0;
+  }
+  const double disc = b * b - 4 * a * c;
+  if (disc < 0) {
+    return 0.0;
+  }
+  const double r1 = (-b + std::sqrt(disc)) / (2 * a);
+  const double r2 = (-b - std::sqrt(disc)) / (2 * a);
+  double best = 0.0;
+  for (double r : {r1, r2}) {
+    if (r > 0 && (best == 0.0 || r < best)) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Crossovers ComputeCrossovers(const Params& p) {
+  Crossovers x;
+  const double i = p.I();
+  const double ip = p.Iprime();
+
+  // Bytes, best: k*S*sigma*J^2 = S*sigma*C*J^2  =>  k = C.
+  x.bytes_best = p.C;
+  // Bytes, worst: k*J + k(k-1)/3 = C*J  =>  k^2/3 + k(J - 1/3) - CJ = 0.
+  x.bytes_worst = PositiveRoot(1.0 / 3.0, p.J - 1.0 / 3.0, -p.C * p.J);
+  // Scenario 1, best: k(J+1) = 3I.
+  x.io_s1_best = 3 * i / (p.J + 1);
+  // Scenario 1, worst: k(J+1) + k(k-1)/3 = 3I.
+  x.io_s1_worst = PositiveRoot(1.0 / 3.0, p.J + 1 - 1.0 / 3.0, -3 * i);
+  // Scenario 2, best: k*I*I' = I^3  =>  k = I^2/I'.
+  x.io_s2_best = i * i / ip;
+  // Scenario 2, worst: k*I' + k(k-1)/3 = I^2.
+  x.io_s2_worst = PositiveRoot(1.0 / 3.0, ip - 1.0 / 3.0, -i * i);
+  return x;
+}
+
+std::string Crossovers::ToString() const {
+  return StrCat("bytes: best k=", bytes_best, " worst k=", bytes_worst,
+                "; IO S1: best k=", io_s1_best, " worst k=", io_s1_worst,
+                "; IO S2: best k=", io_s2_best, " worst k=", io_s2_worst);
+}
+
+const char* ChoiceName(Choice choice) {
+  switch (choice) {
+    case Choice::kEca:
+      return "eca";
+    case Choice::kRv:
+      return "rv";
+    case Choice::kDependsOnInterleaving:
+      return "depends-on-interleaving";
+  }
+  return "?";
+}
+
+namespace {
+
+Choice Decide(double eca_best, double eca_worst, double rv_best) {
+  if (eca_worst <= rv_best) {
+    return Choice::kEca;
+  }
+  if (eca_best >= rv_best) {
+    return Choice::kRv;
+  }
+  return Choice::kDependsOnInterleaving;
+}
+
+}  // namespace
+
+Advice Advise(const Params& p, int64_t k, PhysicalScenario scenario) {
+  Advice advice;
+  advice.by_bytes = Decide(BytesEcaBest(p, k), BytesEcaWorst(p, k),
+                           BytesRvBest(p, k));
+  if (scenario == PhysicalScenario::kIndexedMemory) {
+    advice.by_io =
+        Decide(IoEcaBestS1(p, k), IoEcaWorstS1(p, k), IoRvBestS1(p, k));
+  } else {
+    advice.by_io =
+        Decide(IoEcaBestS2(p, k), IoEcaWorstS2(p, k), IoRvBestS2(p, k));
+  }
+  advice.eca_messages = MessagesEca(k);
+  advice.rv_messages = MessagesRv(k, k);
+  return advice;
+}
+
+std::string Advice::ToString() const {
+  return StrCat("bytes->", ChoiceName(by_bytes), ", io->", ChoiceName(by_io),
+                ", messages: eca=", eca_messages, " rv=", rv_messages);
+}
+
+}  // namespace wvm::analytic

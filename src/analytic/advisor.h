@@ -1,0 +1,70 @@
+#ifndef WVM_ANALYTIC_ADVISOR_H_
+#define WVM_ANALYTIC_ADVISOR_H_
+
+#include <string>
+
+#include "analytic/cost_model.h"
+#include "source/physical_evaluator.h"
+
+namespace wvm::analytic {
+
+/// The practical question Section 6 opens with — "we seek to determine
+/// when it is more effective to recompute the entire view, rather than
+/// maintaining it incrementally" — packaged as an API. Given the Table 1
+/// parameters, the advisor reports every crossover point of the model and
+/// recommends a strategy for an expected number of updates per maintenance
+/// window.
+
+/// Update counts k at which ECA's curves meet recompute-once RV's
+/// (ECA is cheaper below each value).
+struct Crossovers {
+  /// Bytes: ECA-best vs RV-best. k = C (100 at defaults, as in Fig. 6.3).
+  double bytes_best = 0;
+  /// Bytes: ECA-worst vs RV-best (~30 at defaults).
+  double bytes_worst = 0;
+  /// Scenario 1 I/O: ECA-best vs RV-best. k = 3I/(J+1) (3 at defaults).
+  double io_s1_best = 0;
+  /// Scenario 1 I/O: ECA-worst vs RV-best.
+  double io_s1_worst = 0;
+  /// Scenario 2 I/O: ECA-best vs RV-best. k = I^2/I' (~8.3 at defaults).
+  double io_s2_best = 0;
+  /// Scenario 2 I/O: ECA-worst vs RV-best (between 5 and 8 at defaults).
+  double io_s2_worst = 0;
+
+  std::string ToString() const;
+};
+
+Crossovers ComputeCrossovers(const Params& params);
+
+/// What to run for a window of k updates.
+enum class Choice {
+  /// Even ECA's worst case beats recomputing: maintain incrementally.
+  kEca,
+  /// Even ECA's best case loses to one recomputation: recompute.
+  kRv,
+  /// Between the envelopes: the winner depends on how heavily updates
+  /// interleave with query answering (Section 6.2's "somewhere between
+  /// the best and worst case curves").
+  kDependsOnInterleaving,
+};
+
+const char* ChoiceName(Choice choice);
+
+/// Recommendation for one cost factor.
+struct Advice {
+  Choice by_bytes = Choice::kEca;
+  Choice by_io = Choice::kEca;
+  /// M_ECA = 2k vs M_RV = 2 for the window (RV always wins on messages
+  /// when it recomputes once; reported for completeness).
+  int64_t eca_messages = 0;
+  int64_t rv_messages = 0;
+
+  std::string ToString() const;
+};
+
+/// Advises for a window of `k` updates under the given physical scenario.
+Advice Advise(const Params& params, int64_t k, PhysicalScenario scenario);
+
+}  // namespace wvm::analytic
+
+#endif  // WVM_ANALYTIC_ADVISOR_H_

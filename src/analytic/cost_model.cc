@@ -1,0 +1,104 @@
+#include "analytic/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace wvm::analytic {
+
+double Params::I() const { return std::ceil(C / K); }
+double Params::Iprime() const { return std::ceil(C / (2.0 * K)); }
+
+std::string Params::ToString() const {
+  return StrCat("C=", C, " S=", S, " sigma=", sigma, " J=", J, " K=", K,
+                " (I=", I(), ", I'=", Iprime(), ")");
+}
+
+int64_t MessagesRv(int64_t k, int64_t s) {
+  if (s <= 0) {
+    s = 1;
+  }
+  return 2 * ((k + s - 1) / s);
+}
+
+int64_t MessagesEca(int64_t k) { return 2 * k; }
+
+double BytesRvBest3(const Params& p) { return p.S * p.sigma * p.C * p.J * p.J; }
+double BytesRvWorst3(const Params& p) { return 3 * BytesRvBest3(p); }
+double BytesEcaBest3(const Params& p) { return 3 * p.S * p.sigma * p.J * p.J; }
+double BytesEcaWorst3(const Params& p) {
+  return 3 * p.S * p.sigma * p.J * (p.J + 1);
+}
+
+double BytesRvBest(const Params& p, int64_t k) {
+  (void)k;
+  return p.S * p.sigma * p.C * p.J * p.J;
+}
+double BytesRvWorst(const Params& p, int64_t k) {
+  return static_cast<double>(k) * p.S * p.sigma * p.C * p.J * p.J;
+}
+double BytesEcaBest(const Params& p, int64_t k) {
+  return static_cast<double>(k) * p.S * p.sigma * p.J * p.J;
+}
+double BytesEcaWorst(const Params& p, int64_t k) {
+  const double kd = static_cast<double>(k);
+  return kd * p.S * p.sigma * p.J * p.J + kd * (kd - 1) * p.S * p.sigma * p.J / 3.0;
+}
+
+double IoRvBest3S1(const Params& p) { return 3 * p.I(); }
+double IoRvWorst3S1(const Params& p) { return 9 * p.I(); }
+double IoEcaBest3S1(const Params& p) {
+  return 3 * std::min(p.J, p.I()) + 3;
+}
+double IoEcaWorst3S1(const Params& p) {
+  return 3 * std::min(p.J, p.I()) + 6;
+}
+
+double IoRvBestS1(const Params& p, int64_t k) {
+  (void)k;
+  return 3 * p.I();
+}
+double IoRvWorstS1(const Params& p, int64_t k) {
+  return 3.0 * static_cast<double>(k) * p.I();
+}
+double IoEcaBestS1(const Params& p, int64_t k) {
+  return static_cast<double>(k) * (p.J + 1);
+}
+double IoEcaWorstS1(const Params& p, int64_t k) {
+  const double kd = static_cast<double>(k);
+  return kd * (p.J + 1) + kd * (kd - 1) / 3.0;
+}
+
+double IoRvBest3S2(const Params& p) { return std::pow(p.I(), 3); }
+double IoRvWorst3S2(const Params& p) { return 3 * std::pow(p.I(), 3); }
+double IoEcaBest3S2(const Params& p) { return 3 * p.I() * p.Iprime(); }
+double IoEcaWorst3S2(const Params& p) {
+  return 3 * p.I() * (p.Iprime() + 1);
+}
+
+double IoRvBestS2(const Params& p, int64_t k) {
+  (void)k;
+  return std::pow(p.I(), 3);
+}
+double IoRvWorstS2(const Params& p, int64_t k) {
+  return static_cast<double>(k) * std::pow(p.I(), 3);
+}
+double IoEcaBestS2(const Params& p, int64_t k) {
+  return static_cast<double>(k) * p.I() * p.Iprime();
+}
+double IoEcaWorstS2(const Params& p, int64_t k) {
+  const double kd = static_cast<double>(k);
+  return kd * p.I() * p.Iprime() + p.I() * kd * (kd - 1) / 3.0;
+}
+
+double IoRecomputeS2Operational(const Params& p) {
+  const double i = p.I();
+  return i + i * i + i * i * i;
+}
+
+double IoTwoUnboundTermS2Operational(const Params& p) {
+  return p.I() + p.I() * p.Iprime();
+}
+
+}  // namespace wvm::analytic

@@ -1,0 +1,13 @@
+// Channel is header-only (template); this translation unit exists so the
+// channel library has an object file and to type-check the header.
+#include "channel/channel.h"
+
+#include "channel/message.h"
+
+namespace wvm {
+
+// Explicit instantiations of the channels used by the simulator.
+template class Channel<SourceMessage>;
+template class Channel<QueryMessage>;
+
+}  // namespace wvm

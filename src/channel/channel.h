@@ -1,0 +1,38 @@
+#ifndef WVM_CHANNEL_CHANNEL_H_
+#define WVM_CHANNEL_CHANNEL_H_
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace wvm {
+
+/// A reliable, in-order message channel between two sites. Delivery order
+/// equals send order — the paper's standing assumption (Section 3) — but
+/// delivery *time* is up to the simulation's interleaving policy: a message
+/// sits in the channel until the receiving site's next event consumes it.
+template <typename T>
+class Channel {
+ public:
+  void Send(T message) { queue_.push_back(std::move(message)); }
+
+  bool HasMessage() const { return !queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+
+  /// Next message without consuming it; pre: HasMessage().
+  const T& Front() const { return queue_.front(); }
+
+  /// Consumes and returns the next message; pre: HasMessage().
+  T Receive() {
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+ private:
+  std::deque<T> queue_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CHANNEL_CHANNEL_H_

@@ -1,0 +1,22 @@
+#include "channel/cost_meter.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+int64_t CostMeter::AnswerTupleCount(const AnswerMessage& a) {
+  int64_t n = 0;
+  for (const Relation& r : a.per_term) {
+    n += r.TotalAbsolute();
+  }
+  return n;
+}
+
+std::string CostMeter::ToString() const {
+  return StrCat("M=", messages(), " (", query_messages_, " queries + ",
+                answer_messages_, " answers), B=", bytes_transferred_,
+                " bytes, ", answer_tuples_, " answer tuples, ", query_terms_,
+                " query terms, ", notifications_, " notifications");
+}
+
+}  // namespace wvm

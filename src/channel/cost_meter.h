@@ -1,0 +1,66 @@
+#ifndef WVM_CHANNEL_COST_METER_H_
+#define WVM_CHANNEL_COST_METER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "channel/message.h"
+
+namespace wvm {
+
+/// Accumulates the communication cost factors of Section 6:
+///   M  — messages between source and warehouse. Following the paper,
+///        update notifications are excluded (identical in RV and ECA), and
+///        a signed query with several terms counts as one packaged message
+///        (footnote 2), as does its packaged answer.
+///   B  — bytes shipped from source to warehouse in answer payloads.
+///
+/// `bytes_per_tuple` pins the per-tuple size S of Table 1; when negative the
+/// actual schema width of each answer tuple is charged.
+class CostMeter {
+ public:
+  CostMeter() = default;
+  explicit CostMeter(int64_t bytes_per_tuple)
+      : bytes_per_tuple_(bytes_per_tuple) {}
+
+  void RecordNotification() { ++notifications_; }
+  void RecordQuery(const QueryMessage& q) {
+    ++query_messages_;
+    query_terms_ += static_cast<int64_t>(q.query.NumTerms());
+  }
+  void RecordAnswer(const AnswerMessage& a) {
+    ++answer_messages_;
+    bytes_transferred_ += a.ByteSize(bytes_per_tuple_);
+    answer_tuples_ += AnswerTupleCount(a);
+  }
+
+  /// M of Section 6.1.
+  int64_t messages() const { return query_messages_ + answer_messages_; }
+  /// B of Section 6.2.
+  int64_t bytes_transferred() const { return bytes_transferred_; }
+
+  int64_t notifications() const { return notifications_; }
+  int64_t query_messages() const { return query_messages_; }
+  int64_t answer_messages() const { return answer_messages_; }
+  int64_t query_terms() const { return query_terms_; }
+  int64_t answer_tuples() const { return answer_tuples_; }
+
+  void Reset() { *this = CostMeter(bytes_per_tuple_); }
+
+  std::string ToString() const;
+
+ private:
+  static int64_t AnswerTupleCount(const AnswerMessage& a);
+
+  int64_t bytes_per_tuple_ = -1;
+  int64_t notifications_ = 0;
+  int64_t query_messages_ = 0;
+  int64_t answer_messages_ = 0;
+  int64_t query_terms_ = 0;
+  int64_t answer_tuples_ = 0;
+  int64_t bytes_transferred_ = 0;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CHANNEL_COST_METER_H_

@@ -1,0 +1,56 @@
+#include "channel/message.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+std::string UpdateNotification::ToString() const {
+  return StrCat("notify(", update.ToString(), ")");
+}
+
+std::string BatchNotification::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(updates.size());
+  for (const Update& u : updates) {
+    parts.push_back(u.ToString());
+  }
+  return StrCat("notify_batch(", Join(parts, "; "), ")");
+}
+
+std::string QueryMessage::ToString() const { return query.ToString(); }
+
+Relation AnswerMessage::Sum() const {
+  Relation out;
+  bool first = true;
+  for (const Relation& r : per_term) {
+    if (first) {
+      out = r;
+      first = false;
+    } else {
+      out.Add(r);
+    }
+  }
+  return out;
+}
+
+int64_t AnswerMessage::ByteSize(int64_t bytes_per_tuple) const {
+  int64_t bytes = 0;
+  for (const Relation& r : per_term) {
+    if (bytes_per_tuple >= 0) {
+      bytes += r.TotalAbsolute() * bytes_per_tuple;
+    } else {
+      bytes += r.ByteSize();
+    }
+  }
+  return bytes;
+}
+
+std::string AnswerMessage::ToString() const {
+  return StrCat("A", query_id, " = ", Sum().ToString());
+}
+
+std::string SourceMessageToString(const SourceMessage& m) {
+  return std::visit([](const auto& msg) { return msg.ToString(); }, m);
+}
+
+}  // namespace wvm

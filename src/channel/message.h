@@ -1,0 +1,73 @@
+#ifndef WVM_CHANNEL_MESSAGE_H_
+#define WVM_CHANNEL_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "query/query.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// Source -> warehouse: "update U occurred". Carries only the update, since
+/// a legacy source knows nothing about views.
+struct UpdateNotification {
+  Update update;
+
+  std::string ToString() const;
+};
+
+/// Source -> warehouse: a batch of updates executed atomically and shipped
+/// in one notification (the batching extension of Section 7).
+struct BatchNotification {
+  std::vector<Update> updates;
+
+  std::string ToString() const;
+};
+
+/// Warehouse -> source: evaluate this query. A multi-term signed query is
+/// packaged as a single message (footnote 2 of the paper).
+struct QueryMessage {
+  Query query;
+
+  std::string ToString() const;
+};
+
+/// Source -> warehouse: the answer to one query, evaluated atomically on the
+/// source's current state. Answers are kept per term so that (a) the byte
+/// accounting of Appendix D, which sums term costs, is reproduced and (b)
+/// LCA can split per-update deltas by the terms' delta tags.
+struct AnswerMessage {
+  uint64_t query_id = 0;
+  uint64_t update_id = 0;
+  /// Delta tag of each term (Term::delta_update_id), aligned with
+  /// `per_term`.
+  std::vector<uint64_t> term_delta_tags;
+  std::vector<Relation> per_term;
+
+  /// The combined answer A = sum of term answers.
+  Relation Sum() const;
+
+  /// Total payload bytes: sum over terms of |tuple| * width. With
+  /// `bytes_per_tuple` >= 0, each tuple is charged that fixed size instead
+  /// (used to pin S to the paper's Table 1 value).
+  int64_t ByteSize(int64_t bytes_per_tuple = -1) const;
+
+  std::string ToString() const;
+};
+
+/// One message on the single FIFO stream from source to warehouse. Update
+/// notifications and answers share a stream: the paper's in-order delivery
+/// assumption across *all* messages is what lets ECA deduce, from receiving
+/// U_{i+1} before A_i, that Q_i will be evaluated after U_{i+1}.
+using SourceMessage =
+    std::variant<UpdateNotification, BatchNotification, AnswerMessage>;
+
+std::string SourceMessageToString(const SourceMessage& m);
+
+}  // namespace wvm
+
+#endif  // WVM_CHANNEL_MESSAGE_H_

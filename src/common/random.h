@@ -1,0 +1,41 @@
+#ifndef WVM_COMMON_RANDOM_H_
+#define WVM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace wvm {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64). Used by the
+/// workload generator and the randomized interleaving policy so that every
+/// test and benchmark run is reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Pre: bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi]. Pre: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool Bernoulli(uint64_t num, uint64_t den) { return Uniform(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_COMMON_RANDOM_H_

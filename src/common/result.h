@@ -1,0 +1,80 @@
+#ifndef WVM_COMMON_RESULT_H_
+#define WVM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace wvm {
+
+/// Holds either a value of type T or a non-OK Status describing why the value
+/// could not be produced. Mirrors absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — allows `return some_t;` from Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status — allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Accessing the value of an error Result aborts.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      internal::DieOnStatus(status_, "Result::value()", __FILE__, __LINE__);
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating its error or assigning the
+/// value to `lhs`. Usage: WVM_ASSIGN_OR_RETURN(auto x, MakeX());
+#define WVM_ASSIGN_OR_RETURN(lhs, expr)                 \
+  WVM_ASSIGN_OR_RETURN_IMPL_(                           \
+      WVM_RESULT_CONCAT_(_wvm_result, __LINE__), lhs, expr)
+
+#define WVM_RESULT_CONCAT_INNER_(a, b) a##b
+#define WVM_RESULT_CONCAT_(a, b) WVM_RESULT_CONCAT_INNER_(a, b)
+#define WVM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+}  // namespace wvm
+
+#endif  // WVM_COMMON_RESULT_H_

@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+namespace wvm {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+
+void DieOnStatus(const Status& s, const char* expr, const char* file,
+                 int line) {
+  std::cerr << file << ":" << line << ": WVM_CHECK_OK(" << expr
+            << ") failed: " << s.ToString() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace wvm

@@ -1,0 +1,104 @@
+#ifndef WVM_COMMON_STATUS_H_
+#define WVM_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+
+namespace wvm {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns the canonical lower-case name of `code` (e.g. "invalid argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Fallible public APIs in this library
+/// return Status (or Result<T>) instead of throwing; this follows the common
+/// storage-engine idiom (e.g. RocksDB) and keeps error handling explicit.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "invalid argument: bad schema".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+namespace internal {
+[[noreturn]] void DieOnStatus(const Status& s, const char* expr,
+                              const char* file, int line);
+}  // namespace internal
+
+/// Aborts the process if `expr` yields a non-OK Status. For use in tests,
+/// examples, and benchmark drivers where failure is a programming error.
+#define WVM_CHECK_OK(expr)                                          \
+  do {                                                              \
+    ::wvm::Status _wvm_check_status = (expr);                       \
+    if (!_wvm_check_status.ok()) {                                  \
+      ::wvm::internal::DieOnStatus(_wvm_check_status, #expr,        \
+                                   __FILE__, __LINE__);             \
+    }                                                               \
+  } while (false)
+
+/// Propagates a non-OK Status to the caller.
+#define WVM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::wvm::Status _wvm_ret_status = (expr);       \
+    if (!_wvm_ret_status.ok()) {                  \
+      return _wvm_ret_status;                     \
+    }                                             \
+  } while (false)
+
+}  // namespace wvm
+
+#endif  // WVM_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+#ifndef WVM_COMMON_STRINGS_H_
+#define WVM_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wvm {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Streams all arguments into one string (a minimal StrCat).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace wvm
+
+#endif  // WVM_COMMON_STRINGS_H_

@@ -1,0 +1,116 @@
+#include "consistency/checker.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+namespace {
+
+// Greedy order-preserving match of `needles` into `haystack`: each needle
+// must equal some haystack element at an index no smaller than the previous
+// match (indices may repeat only by moving forward, never backward).
+// Returns the index of the first unmatched needle, or -1 if all match.
+// Greedy earliest-match is optimal for this subsequence-with-equality test.
+int FirstUnmatched(const std::vector<Relation>& needles,
+                   const std::vector<Relation>& haystack,
+                   bool allow_same_index) {
+  size_t h = 0;
+  bool first = true;
+  for (size_t n = 0; n < needles.size(); ++n) {
+    size_t start = first ? 0 : (allow_same_index ? h : h + 1);
+    bool found = false;
+    for (size_t i = start; i < haystack.size(); ++i) {
+      if (haystack[i] == needles[n]) {
+        h = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return static_cast<int>(n);
+    }
+    first = false;
+  }
+  return -1;
+}
+
+}  // namespace
+
+ConsistencyReport CheckConsistency(const StateLog& log) {
+  ConsistencyReport report;
+  const std::vector<Relation>& src = log.source_view_states;
+  const std::vector<Relation> wh = StateLog::Dedup(log.warehouse_view_states);
+
+  if (src.empty() || wh.empty()) {
+    report.violation = "empty execution";
+    return report;
+  }
+
+  // Convergence.
+  report.convergent = src.back() == wh.back();
+  if (!report.convergent) {
+    report.violation =
+        StrCat("not convergent: final warehouse state ", wh.back().ToString(),
+               " != final source state ", src.back().ToString());
+  }
+
+  // Weak consistency: every warehouse state is some source state.
+  report.weakly_consistent = true;
+  for (size_t i = 0; i < wh.size(); ++i) {
+    bool found = false;
+    for (const Relation& s : src) {
+      if (s == wh[i]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      report.weakly_consistent = false;
+      if (report.violation.empty()) {
+        report.violation = StrCat("not weakly consistent: warehouse state ",
+                                  wh[i].ToString(),
+                                  " matches no source state");
+      }
+      break;
+    }
+  }
+
+  // Consistency: order-preserving mapping into the source sequence.
+  if (report.weakly_consistent) {
+    int miss = FirstUnmatched(wh, src, /*allow_same_index=*/true);
+    report.consistent = miss < 0;
+    if (!report.consistent && report.violation.empty()) {
+      report.violation =
+          StrCat("not consistent: warehouse state #", miss, " (",
+                 wh[static_cast<size_t>(miss)].ToString(),
+                 ") breaks source-state order");
+    }
+  }
+
+  report.strongly_consistent = report.consistent && report.convergent;
+
+  // Completeness: additionally, every (deduplicated) source state shows up
+  // at the warehouse, in order.
+  if (report.strongly_consistent) {
+    const std::vector<Relation> src_d = StateLog::Dedup(src);
+    int miss = FirstUnmatched(src_d, wh, /*allow_same_index=*/false);
+    report.complete = miss < 0;
+    if (!report.complete && report.violation.empty()) {
+      report.violation = StrCat("not complete: source state #", miss,
+                                " never observed at the warehouse");
+    }
+  }
+
+  return report;
+}
+
+std::string ConsistencyReport::ToString() const {
+  return StrCat("convergent=", convergent ? "yes" : "no",
+                " weak=", weakly_consistent ? "yes" : "no",
+                " consistent=", consistent ? "yes" : "no",
+                " strong=", strongly_consistent ? "yes" : "no",
+                " complete=", complete ? "yes" : "no",
+                violation.empty() ? "" : StrCat(" [", violation, "]"));
+}
+
+}  // namespace wvm

@@ -1,0 +1,39 @@
+#ifndef WVM_CONSISTENCY_CHECKER_H_
+#define WVM_CONSISTENCY_CHECKER_H_
+
+#include <string>
+
+#include "consistency/state_log.h"
+
+namespace wvm {
+
+/// Verdicts for one finite execution against the correctness levels of
+/// Section 3.1. The definitions quantify over all executions; a single
+/// execution can only *refute* a level, so test suites sweep many seeded
+/// interleavings and intersect the verdicts.
+struct ConsistencyReport {
+  /// V[ws_q] = V[ss_p]: final view equals final source state.
+  bool convergent = false;
+  /// Every warehouse state equals some source state.
+  bool weakly_consistent = false;
+  /// Weak consistency with an order-preserving assignment (ws_i < ws_j
+  /// maps to ss_k <= ss_l).
+  bool consistent = false;
+  /// Consistent and convergent.
+  bool strongly_consistent = false;
+  /// Strongly consistent and every source state appears at the warehouse
+  /// (order-preserving both ways).
+  bool complete = false;
+
+  /// Human-readable account of the first violated level.
+  std::string violation;
+
+  std::string ToString() const;
+};
+
+/// Analyzes one finished execution.
+ConsistencyReport CheckConsistency(const StateLog& log);
+
+}  // namespace wvm
+
+#endif  // WVM_CONSISTENCY_CHECKER_H_

@@ -1,0 +1,58 @@
+#include "consistency/staleness.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+StalenessReport MeasureStaleness(const StateLog& log) {
+  StalenessReport report;
+  const size_t n = log.source_view_states.size();
+  report.lags.assign(n, -1);
+
+  // A source state ss_i is "visible" at the first warehouse state recorded
+  // at or after ss_i's clock whose contents equal V[ss_i] — PROVIDED a
+  // later source state has not already replaced it by then (once the
+  // source has moved on, showing the old value is staleness of a later
+  // state's delivery, not visibility of ss_i... we still count it: the
+  // paper's consistency definitions are about values, and so are we).
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t born = log.source_state_seq[i];
+    for (size_t j = 0; j < log.warehouse_view_states.size(); ++j) {
+      if (log.warehouse_state_seq[j] < born) {
+        continue;
+      }
+      if (log.warehouse_view_states[j] == log.source_view_states[i]) {
+        report.lags[i] =
+            static_cast<int64_t>(log.warehouse_state_seq[j] - born);
+        break;
+      }
+    }
+  }
+
+  int64_t visible = 0;
+  int64_t total_lag = 0;
+  for (int64_t lag : report.lags) {
+    if (lag >= 0) {
+      ++visible;
+      total_lag += lag;
+      report.max_lag = std::max(report.max_lag, lag);
+    }
+  }
+  report.coverage = n == 0 ? 0.0
+                           : static_cast<double>(visible) /
+                                 static_cast<double>(n);
+  report.mean_lag =
+      visible == 0 ? 0.0
+                   : static_cast<double>(total_lag) /
+                         static_cast<double>(visible);
+  return report;
+}
+
+std::string StalenessReport::ToString() const {
+  return StrCat("coverage=", coverage, " mean_lag=", mean_lag,
+                " max_lag=", max_lag, " events");
+}
+
+}  // namespace wvm

@@ -1,0 +1,38 @@
+#ifndef WVM_CONSISTENCY_STALENESS_H_
+#define WVM_CONSISTENCY_STALENESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consistency/state_log.h"
+
+namespace wvm {
+
+/// Staleness analysis: the paper motivates warehousing with "the prompt
+/// and correct propagation of updates" (Section 1.1) and distinguishes
+/// correctness LEVELS by which source states become visible (Section 3.1);
+/// this metric quantifies the "prompt" half. For every source state ss_i
+/// we measure how many events elapse (on the simulator's shared logical
+/// clock) until the warehouse first shows V[ss_i] at or after ss_i —
+/// infinite when the warehouse skips the state entirely (allowed by strong
+/// consistency, forbidden by completeness).
+struct StalenessReport {
+  /// Fraction of source states that ever became visible (1.0 for complete
+  /// algorithms; ECA typically skips states while COLLECT accumulates).
+  double coverage = 0;
+  /// Mean/max event lag over the VISIBLE states.
+  double mean_lag = 0;
+  int64_t max_lag = 0;
+  /// Per-state lags (-1 = never visible), aligned with
+  /// StateLog::source_view_states.
+  std::vector<int64_t> lags;
+
+  std::string ToString() const;
+};
+
+StalenessReport MeasureStaleness(const StateLog& log);
+
+}  // namespace wvm
+
+#endif  // WVM_CONSISTENCY_STALENESS_H_

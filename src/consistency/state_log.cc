@@ -1,0 +1,30 @@
+#include "consistency/state_log.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+std::vector<Relation> StateLog::Dedup(const std::vector<Relation>& states) {
+  std::vector<Relation> out;
+  for (const Relation& r : states) {
+    if (out.empty() || !(out.back() == r)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::string StateLog::ToString() const {
+  std::string out = "source states:\n";
+  for (size_t i = 0; i < source_view_states.size(); ++i) {
+    out += StrCat("  V[ss", i, "] = ", source_view_states[i].ToString(), "\n");
+  }
+  out += "warehouse states:\n";
+  for (size_t i = 0; i < warehouse_view_states.size(); ++i) {
+    out +=
+        StrCat("  V[ws", i, "] = ", warehouse_view_states[i].ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace wvm

@@ -1,0 +1,49 @@
+#ifndef WVM_CONSISTENCY_STATE_LOG_H_
+#define WVM_CONSISTENCY_STATE_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace wvm {
+
+/// Chronological record of an execution, in the vocabulary of Section 3.1:
+///
+///   * source_view_states[i] = V[ss_i] — the view expression evaluated at
+///     the source immediately after the i-th update event (index 0 is the
+///     initial state ss_0);
+///   * warehouse_view_states[j] = V[ws_j] — the materialized view after the
+///     j-th warehouse event (index 0 is the initial state ws_0).
+///
+/// The consistency checker decides the paper's correctness levels from
+/// these two sequences alone.
+struct StateLog {
+  std::vector<Relation> source_view_states;
+  std::vector<Relation> warehouse_view_states;
+  /// Global event sequence number at which each state was recorded (both
+  /// sites share one logical clock inside the simulator), enabling the
+  /// staleness analysis: how long after ss_i does the warehouse first show
+  /// V[ss_i]?
+  std::vector<uint64_t> source_state_seq;
+  std::vector<uint64_t> warehouse_state_seq;
+
+  void RecordSourceState(Relation v, uint64_t seq = 0) {
+    source_view_states.push_back(std::move(v));
+    source_state_seq.push_back(seq);
+  }
+  void RecordWarehouseState(Relation v, uint64_t seq = 0) {
+    warehouse_view_states.push_back(std::move(v));
+    warehouse_state_seq.push_back(seq);
+  }
+
+  /// Consecutive duplicates removed (a warehouse event that does not change
+  /// the view does not create a new observable state).
+  static std::vector<Relation> Dedup(const std::vector<Relation>& states);
+
+  std::string ToString() const;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CONSISTENCY_STATE_LOG_H_

@@ -1,0 +1,36 @@
+#ifndef WVM_CORE_BASIC_H_
+#define WVM_CORE_BASIC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+
+namespace wvm {
+
+/// Algorithm 5.1 — the conventional incremental view maintenance algorithm
+/// ([BLT86]) transplanted unchanged into the warehouse: on update U send
+/// Q = V<U>, on answer A set MV <- MV + A.
+///
+/// This algorithm is deliberately WRONG in a warehousing environment: it is
+/// neither convergent nor weakly consistent, because queries are evaluated
+/// at source states later than the update that triggered them (the
+/// distributed incremental view maintenance *anomaly* of Examples 2 and 3).
+/// It is included as the baseline ECA repairs, and doubles as the
+/// compensation-off ablation of ECA.
+class BasicIncremental : public ViewMaintainer {
+ public:
+  explicit BasicIncremental(ViewDefinitionPtr view)
+      : ViewMaintainer(std::move(view)) {}
+
+  std::string name() const override { return "basic"; }
+
+  Status OnUpdate(const Update& u, WarehouseContext* ctx) override;
+  Status OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) override;
+
+ private:
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_BASIC_H_

@@ -1,0 +1,46 @@
+#ifndef WVM_CORE_COMPOSITE_ECA_H_
+#define WVM_CORE_COMPOSITE_ECA_H_
+
+#include <string>
+
+#include "core/eca.h"
+#include "query/composite_view.h"
+
+namespace wvm {
+
+/// ECA generalized to composite (union / difference) views — Section 7's
+/// "more complex relational algebra expressions" extension.
+///
+/// Because a composite view is a signed sum of SPJ branches and every
+/// branch is multilinear in its base relations, the single-view algorithm
+/// carries over verbatim with one change: V<U> becomes the signed sum of
+/// the branches' substitutions (a branch not mentioning U's relation drops
+/// out). Compensation against pending queries, the UQS bookkeeping, and
+/// the COLLECT installation discipline are inherited from Eca unchanged,
+/// and the strong-consistency argument of Appendix B goes through term by
+/// term.
+class CompositeEca : public Eca {
+ public:
+  /// The underlying Eca carries the first branch's view for bookkeeping;
+  /// all query construction is overridden to span every branch.
+  explicit CompositeEca(CompositeViewPtr composite)
+      : Eca(composite->branches().front().view),
+        composite_(std::move(composite)) {}
+
+  std::string name() const override { return "composite-eca"; }
+
+  Status Initialize(const Catalog& initial_source_state) override;
+
+  const CompositeViewPtr& composite() const { return composite_; }
+
+ protected:
+  Query BuildCompensatedQuery(const Update& u,
+                              uint64_t query_id) const override;
+
+ private:
+  CompositeViewPtr composite_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_COMPOSITE_ECA_H_

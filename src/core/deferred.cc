@@ -1,0 +1,45 @@
+#include "core/deferred.h"
+
+namespace wvm {
+
+Status Deferred::Initialize(const Catalog& initial_source_state) {
+  WVM_RETURN_IF_ERROR(inner_->Initialize(initial_source_state));
+  mv_ = inner_->view_contents();
+  return Status::OK();
+}
+
+Status Deferred::OnUpdate(const Update& u, WarehouseContext* ctx) {
+  buffer_.push_back(u);
+  if (threshold_ > 0 && static_cast<int>(buffer_.size()) >= threshold_) {
+    return Flush(ctx);
+  }
+  return Status::OK();
+}
+
+Status Deferred::OnBatch(const std::vector<Update>& batch,
+                         WarehouseContext* ctx) {
+  buffer_.insert(buffer_.end(), batch.begin(), batch.end());
+  if (threshold_ > 0 && static_cast<int>(buffer_.size()) >= threshold_) {
+    return Flush(ctx);
+  }
+  return Status::OK();
+}
+
+Status Deferred::OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) {
+  WVM_RETURN_IF_ERROR(inner_->OnAnswer(a, ctx));
+  mv_ = inner_->view_contents();
+  return Status::OK();
+}
+
+Status Deferred::Flush(WarehouseContext* ctx) {
+  if (buffer_.empty()) {
+    return Status::OK();
+  }
+  std::vector<Update> pending;
+  pending.swap(buffer_);
+  WVM_RETURN_IF_ERROR(inner_->OnBatch(pending, ctx));
+  mv_ = inner_->view_contents();
+  return Status::OK();
+}
+
+}  // namespace wvm

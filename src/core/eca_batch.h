@@ -1,0 +1,35 @@
+#ifndef WVM_CORE_ECA_BATCH_H_
+#define WVM_CORE_ECA_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/eca.h"
+
+namespace wvm {
+
+/// The batching extension sketched in Section 7 ("handle a set of updates
+/// at once, rather than one update at a time"): the source executes a batch
+/// of updates atomically and ships one notification; the warehouse answers
+/// with ONE query covering the whole batch,
+///
+///   Q = IncExc(V, batch) - sum_{Q_j in UQS} IncExc(Q_j, batch)
+///
+/// where IncExc is the inclusion-exclusion batch delta (see
+/// Query::InclusionExclusionSubstitute). Compensation against pending
+/// queries and the COLLECT discipline are inherited unchanged from ECA, so
+/// the strong-consistency argument carries over; the saving is one
+/// query/answer round trip per batch instead of per update.
+class EcaBatch : public Eca {
+ public:
+  explicit EcaBatch(ViewDefinitionPtr view) : Eca(std::move(view)) {}
+
+  std::string name() const override { return "eca-batch"; }
+
+  Status OnBatch(const std::vector<Update>& batch,
+                 WarehouseContext* ctx) override;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_ECA_BATCH_H_

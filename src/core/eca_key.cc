@@ -1,0 +1,120 @@
+#include "core/eca_key.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+Status EcaKey::Initialize(const Catalog& initial_source_state) {
+  if (!view_->HasAllBaseKeys()) {
+    return Status::FailedPrecondition(
+        StrCat("view ", view_->name(),
+               " does not retain a key of every base relation; "
+               "ECA-Key is inapplicable (Section 5.4)"));
+  }
+  WVM_RETURN_IF_ERROR(ViewMaintainer::Initialize(initial_source_state));
+  collect_ = mv_;  // working copy, NOT the empty set
+  return Status::OK();
+}
+
+Status EcaKey::KeyDelete(const Update& u, Relation* working) const {
+  WVM_ASSIGN_OR_RETURN(auto constraints, view_->KeyConstraintsFor(u));
+  std::vector<Tuple> doomed;
+  for (const auto& [t, c] : working->entries()) {
+    (void)c;
+    bool match = true;
+    for (const auto& [column, value] : constraints) {
+      if (!(t.value(column) == value)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      doomed.push_back(t);
+    }
+  }
+  for (const Tuple& t : doomed) {
+    working->Insert(t, -working->CountOf(t));
+  }
+  return Status::OK();
+}
+
+bool EcaKey::SupersededByKeyDelete(const Tuple& t,
+                                   uint64_t answer_update_id) const {
+  for (const LoggedKeyDelete& kd : key_delete_log_) {
+    if (kd.update_id <= answer_update_id) {
+      continue;  // the answer's update is newer than the delete
+    }
+    bool match = true;
+    for (const auto& [column, value] : kd.constraints) {
+      if (!(t.value(column) == value)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EcaKey::MaybeInstall() {
+  if (uqs_.empty()) {
+    mv_ = collect_;  // COLLECT is not reset: it remains the working copy
+    // No in-flight answer can predate the logged deletes anymore.
+    key_delete_log_.clear();
+  }
+}
+
+Status EcaKey::OnUpdate(const Update& u, WarehouseContext* ctx) {
+  if (!view_->RelationIndex(u.relation).ok()) {
+    return Status::OK();  // irrelevant update
+  }
+  if (u.kind == UpdateKind::kDelete) {
+    // Handled locally: no query to the source.
+    WVM_RETURN_IF_ERROR(KeyDelete(u, &collect_));
+    if (!uqs_.empty()) {
+      // A pending insert answer may still carry this key (it is bound
+      // inside the query); remember the delete so the re-add is ignored.
+      WVM_ASSIGN_OR_RETURN(auto constraints, view_->KeyConstraintsFor(u));
+      key_delete_log_.push_back(LoggedKeyDelete{u.id, std::move(constraints)});
+    }
+    MaybeInstall();
+    return Status::OK();
+  }
+  // Insert: plain V<u> query, no compensation.
+  std::optional<Term> term = ViewSubstituted(u);
+  Query q(ctx->NextQueryId(), u.id, {std::move(*term)});
+  uqs_.insert(q.id());
+  ctx->SendQuery(std::move(q));
+  return Status::OK();
+}
+
+Status EcaKey::OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) {
+  (void)ctx;
+  if (uqs_.erase(a.query_id) == 0) {
+    return Status::Internal("answer for unknown query id");
+  }
+  const Relation sum = a.Sum();
+  if (sum.HasNegative()) {
+    return Status::Internal(
+        "ECA-Key insert answers must be positive relations");
+  }
+  for (const auto& [t, c] : sum.entries()) {
+    (void)c;
+    // A tuple whose key was deleted after this answer's update is an
+    // anomaly artifact (see LoggedKeyDelete).
+    if (SupersededByKeyDelete(t, a.update_id)) {
+      continue;
+    }
+    // Duplicate tuples are anomaly artifacts; in a keyed view each tuple is
+    // unique, so add at most one copy (Section 5.4, rule 4).
+    if (collect_.CountOf(t) == 0) {
+      collect_.Insert(t, 1);
+    }
+  }
+  MaybeInstall();
+  return Status::OK();
+}
+
+}  // namespace wvm

@@ -1,0 +1,73 @@
+#ifndef WVM_CORE_ECA_SC_H_
+#define WVM_CORE_ECA_SC_H_
+
+#include <set>
+#include <string>
+
+#include "core/eca.h"
+
+namespace wvm {
+
+/// ECA enhanced with warehouse-resident copies of SELECTED base relations —
+/// Section 6's observation that "storing copies of base relations (SC) can
+/// be seen as an enhancement to any of our algorithms", with the
+/// storage-vs-traffic tradeoff it alludes to ("an orthogonal performance
+/// comparison based on warehouse storage costs").
+///
+/// The warehouse replicates a chosen subset R of the view's base relations
+/// (dimension tables, typically) and maintains the replicas from the
+/// notifications themselves. Query construction changes in one way: before
+/// a query is sent, every unbound REPLICATED position of every term is
+/// bound locally by joining against the replicas (a bind-join: one
+/// resulting term per matching replica row). Three regimes fall out:
+///
+///   * all base relations replicated — behaves like SC: no queries at all;
+///   * none replicated — behaves exactly like ECA;
+///   * dimension tables replicated — updates to fact relations whose
+///     remaining unbound positions are all replicated are handled locally,
+///     and remote queries carry pre-joined terms that only mention the
+///     non-replicated relations.
+///
+/// Correctness: replicas are updated in notification (= source FIFO) order
+/// before the delta is computed, so a locally bound position reflects
+/// exactly the source state ss_i of Lemma B.2 — locally bound parts of a
+/// delta are EXACT, and the remaining remote parts are compensated by the
+/// inherited ECA machinery. A pending query never needs compensation for
+/// an update to a replicated relation (its terms do not reference that
+/// relation at the source), which Query::Substitute realizes automatically
+/// because those positions are bound.
+class EcaSc : public Eca {
+ public:
+  EcaSc(ViewDefinitionPtr view, std::set<std::string> replicated)
+      : Eca(view), replicated_(std::move(replicated)) {}
+
+  std::string name() const override;
+
+  /// Fails if a replicated name is not a base relation of the view.
+  Status Initialize(const Catalog& initial_source_state) override;
+
+  Status OnUpdate(const Update& u, WarehouseContext* ctx) override;
+
+  /// Storage overhead: total tuples across replicas.
+  int64_t ReplicaTupleCount() const;
+  const Catalog& replicas() const { return replicas_; }
+
+ private:
+  /// True when every unbound position of `term` is replicated, so the
+  /// term's value is computable from the replicas alone.
+  bool IsFullyLocal(const Term& term) const;
+
+  /// Expands `term` by semi-join-binding its unbound replicated positions
+  /// that are join-constrained by already-bound positions (one output term
+  /// per joining replica-row combination, with the row's multiplicity
+  /// folded into the coefficient). Unconstrained replicated positions are
+  /// left for the source (binding them would enumerate the whole replica).
+  Result<std::vector<Term>> BindReplicatedPositions(const Term& term) const;
+
+  std::set<std::string> replicated_;
+  Catalog replicas_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_ECA_SC_H_

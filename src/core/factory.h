@@ -1,0 +1,44 @@
+#ifndef WVM_CORE_FACTORY_H_
+#define WVM_CORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+
+namespace wvm {
+
+/// Every maintenance strategy in the repository: the paper's contribution
+/// (the ECA family), its baselines (basic, RV, SC), the complete variant
+/// (LCA), the two ablations of ECA, and the Section 7 batching extension.
+enum class Algorithm {
+  kBasic,
+  kEca,
+  kEcaNoCompensation,  // ablation: ECA minus compensating queries
+  kEcaNoCollect,       // ablation: ECA applying answers immediately
+  kEcaKey,
+  kEcaLocal,
+  kLca,
+  kRv,
+  kSc,
+  kEcaBatch,
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// All algorithms, in the order above.
+std::vector<Algorithm> AllAlgorithms();
+
+/// Instantiates a maintainer. `rv_period` is RV's recomputation period s
+/// (ignored by the others).
+Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(Algorithm algorithm,
+                                                       ViewDefinitionPtr view,
+                                                       int rv_period = 1);
+
+/// Parses "basic", "eca", "eca-key", ... (the AlgorithmName spellings).
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_FACTORY_H_

@@ -1,0 +1,104 @@
+#include "core/multi_view.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+class MultiViewWarehouse::RoutingContext : public WarehouseContext {
+ public:
+  RoutingContext(MultiViewWarehouse* owner, size_t child_index,
+                 WarehouseContext* outer)
+      : owner_(owner), child_index_(child_index), outer_(outer) {}
+
+  uint64_t NextQueryId() override { return outer_->NextQueryId(); }
+
+  void SendQuery(Query query) override {
+    owner_->query_owner_[query.id()] = child_index_;
+    outer_->SendQuery(std::move(query));
+  }
+
+  void NotifyViewChanged() override { outer_->NotifyViewChanged(); }
+
+ private:
+  MultiViewWarehouse* owner_;
+  size_t child_index_;
+  WarehouseContext* outer_;
+};
+
+MultiViewWarehouse::MultiViewWarehouse(
+    std::vector<std::unique_ptr<ViewMaintainer>> children)
+    : ViewMaintainer(children.front()->view_def()),
+      children_(std::move(children)) {}
+
+Status MultiViewWarehouse::Initialize(const Catalog& initial_source_state) {
+  for (std::unique_ptr<ViewMaintainer>& child : children_) {
+    WVM_RETURN_IF_ERROR(child->Initialize(initial_source_state));
+  }
+  mv_ = children_.front()->view_contents();
+  return Status::OK();
+}
+
+Status MultiViewWarehouse::Dispatch(
+    size_t child_index,
+    const std::function<Status(ViewMaintainer*, WarehouseContext*)>& body,
+    WarehouseContext* ctx) {
+  RoutingContext routing(this, child_index, ctx);
+  WVM_RETURN_IF_ERROR(body(children_[child_index].get(), &routing));
+  if (child_index == 0) {
+    mv_ = children_.front()->view_contents();
+  }
+  return Status::OK();
+}
+
+Status MultiViewWarehouse::OnUpdate(const Update& u, WarehouseContext* ctx) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    WVM_RETURN_IF_ERROR(Dispatch(
+        i,
+        [&u](ViewMaintainer* child, WarehouseContext* routing) {
+          return child->OnUpdate(u, routing);
+        },
+        ctx));
+  }
+  return Status::OK();
+}
+
+Status MultiViewWarehouse::OnBatch(const std::vector<Update>& batch,
+                                   WarehouseContext* ctx) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    WVM_RETURN_IF_ERROR(Dispatch(
+        i,
+        [&batch](ViewMaintainer* child, WarehouseContext* routing) {
+          return child->OnBatch(batch, routing);
+        },
+        ctx));
+  }
+  return Status::OK();
+}
+
+Status MultiViewWarehouse::OnAnswer(const AnswerMessage& a,
+                                    WarehouseContext* ctx) {
+  auto it = query_owner_.find(a.query_id);
+  if (it == query_owner_.end()) {
+    return Status::Internal(
+        StrCat("answer for query ", a.query_id, " owned by no view"));
+  }
+  const size_t child_index = it->second;
+  query_owner_.erase(it);
+  return Dispatch(
+      child_index,
+      [&a](ViewMaintainer* child, WarehouseContext* routing) {
+        return child->OnAnswer(a, routing);
+      },
+      ctx);
+}
+
+bool MultiViewWarehouse::IsQuiescent() const {
+  for (const std::unique_ptr<ViewMaintainer>& child : children_) {
+    if (!child->IsQuiescent()) {
+      return false;
+    }
+  }
+  return query_owner_.empty();
+}
+
+}  // namespace wvm

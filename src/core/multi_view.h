@@ -1,0 +1,62 @@
+#ifndef WVM_CORE_MULTI_VIEW_H_
+#define WVM_CORE_MULTI_VIEW_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+
+namespace wvm {
+
+/// A warehouse hosting several materialized views over the same source —
+/// Section 7: "in a warehouse consisting of multiple views where each view
+/// is over data from a single source, ECA is simply applied to each view
+/// separately".
+///
+/// Each child maintainer runs its own algorithm over its own view. Every
+/// update notification is fanned out to all children within the same
+/// atomic event (so all views observe the same update order); answers are
+/// routed back to the child that issued the query. Children share the
+/// warehouse's query-id space and channels, so the cost meter reflects the
+/// combined traffic.
+///
+/// The aggregate exposes the FIRST child's view through the ViewMaintainer
+/// interface (so single-view tooling keeps working) and each child
+/// individually through child().
+class MultiViewWarehouse : public ViewMaintainer {
+ public:
+  /// Pre: at least one child.
+  explicit MultiViewWarehouse(
+      std::vector<std::unique_ptr<ViewMaintainer>> children);
+
+  std::string name() const override { return "multi-view"; }
+
+  Status Initialize(const Catalog& initial_source_state) override;
+  Status OnUpdate(const Update& u, WarehouseContext* ctx) override;
+  Status OnBatch(const std::vector<Update>& batch,
+                 WarehouseContext* ctx) override;
+  Status OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) override;
+  bool IsQuiescent() const override;
+
+  size_t num_children() const { return children_.size(); }
+  const ViewMaintainer& child(size_t i) const { return *children_[i]; }
+
+ private:
+  // Forwards a child's sends through the outer context while recording
+  // which child owns each query id.
+  class RoutingContext;
+
+  Status Dispatch(size_t child_index,
+                  const std::function<Status(ViewMaintainer*,
+                                             WarehouseContext*)>& body,
+                  WarehouseContext* ctx);
+
+  std::vector<std::unique_ptr<ViewMaintainer>> children_;
+  std::map<uint64_t, size_t> query_owner_;  // query id -> child index
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_MULTI_VIEW_H_

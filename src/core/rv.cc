@@ -1,0 +1,35 @@
+#include "core/rv.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+std::string RecomputeView::name() const {
+  return StrCat("rv(s=", period_, ")");
+}
+
+Status RecomputeView::OnUpdate(const Update& u, WarehouseContext* ctx) {
+  if (!view_->RelationIndex(u.relation).ok()) {
+    return Status::OK();  // irrelevant update
+  }
+  if (++count_ < period_) {
+    return Status::OK();
+  }
+  count_ = 0;
+  Term full = Term::FromView(view_);
+  full.set_delta_update_id(u.id);
+  Query q(ctx->NextQueryId(), u.id, {std::move(full)});
+  ++outstanding_;
+  ctx->SendQuery(std::move(q));
+  return Status::OK();
+}
+
+Status RecomputeView::OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) {
+  (void)ctx;
+  --outstanding_;
+  // Replace, not merge: the answer is the whole view at some source state.
+  mv_ = a.Sum();
+  return Status::OK();
+}
+
+}  // namespace wvm

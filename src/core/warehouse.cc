@@ -1,0 +1,48 @@
+#include "core/warehouse.h"
+
+namespace wvm {
+
+Status ViewMaintainer::Initialize(const Catalog& initial_source_state) {
+  WVM_ASSIGN_OR_RETURN(mv_, EvaluateView(view_, initial_source_state));
+  return Status::OK();
+}
+
+Status ViewMaintainer::OnBatch(const std::vector<Update>& batch,
+                               WarehouseContext* ctx) {
+  for (const Update& u : batch) {
+    WVM_RETURN_IF_ERROR(OnUpdate(u, ctx));
+  }
+  return Status::OK();
+}
+
+std::optional<Term> ViewMaintainer::ViewSubstituted(const Update& u) const {
+  std::optional<Term> term = Term::FromView(view_).Substitute(u);
+  if (term.has_value()) {
+    term->set_delta_update_id(u.id);
+  }
+  return term;
+}
+
+Warehouse::Warehouse(std::unique_ptr<ViewMaintainer> maintainer,
+                     Channel<QueryMessage>* to_source, CostMeter* meter)
+    : maintainer_(std::move(maintainer)),
+      to_source_(to_source),
+      meter_(meter) {}
+
+Status Warehouse::HandleMessage(const SourceMessage& message) {
+  if (const auto* up = std::get_if<UpdateNotification>(&message)) {
+    return maintainer_->OnUpdate(up->update, this);
+  }
+  if (const auto* batch = std::get_if<BatchNotification>(&message)) {
+    return maintainer_->OnBatch(batch->updates, this);
+  }
+  return maintainer_->OnAnswer(std::get<AnswerMessage>(message), this);
+}
+
+void Warehouse::SendQuery(Query query) {
+  QueryMessage message{std::move(query)};
+  meter_->RecordQuery(message);
+  to_source_->Send(std::move(message));
+}
+
+}  // namespace wvm

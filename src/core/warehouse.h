@@ -1,0 +1,126 @@
+#ifndef WVM_CORE_WAREHOUSE_H_
+#define WVM_CORE_WAREHOUSE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+#include "channel/cost_meter.h"
+#include "channel/message.h"
+#include "common/result.h"
+#include "query/catalog.h"
+#include "query/evaluator.h"
+#include "query/query.h"
+#include "query/view_def.h"
+
+namespace wvm {
+
+/// Services a maintenance algorithm may use while processing a warehouse
+/// event: allocating query ids and sending queries to the source.
+class WarehouseContext {
+ public:
+  virtual ~WarehouseContext() = default;
+  virtual uint64_t NextQueryId() = 0;
+  virtual void SendQuery(Query query) = 0;
+  /// Maintainers that install several per-update deltas within one atomic
+  /// event (LCA) call this after each installation, so every intermediate
+  /// view state is observable to the state log — the granularity the
+  /// completeness definition of Section 3.1 speaks about.
+  virtual void NotifyViewChanged() {}
+};
+
+/// A view-maintenance algorithm running at the warehouse. The simulator
+/// drives it with exactly the two warehouse event types of Section 3:
+/// W_up (an update notification arrived) and W_ans (a query answer
+/// arrived). Everything a subclass does inside one callback is one atomic
+/// event.
+class ViewMaintainer {
+ public:
+  explicit ViewMaintainer(ViewDefinitionPtr view) : view_(std::move(view)) {}
+  virtual ~ViewMaintainer() = default;
+
+  ViewMaintainer(const ViewMaintainer&) = delete;
+  ViewMaintainer& operator=(const ViewMaintainer&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Sets the initial materialized view to V over the initial source state
+  /// (the paper assumes V[ws_0] = V[ss_0]). Subclasses that keep extra
+  /// state (ECA-Key's working copy, SC's base copies) extend this.
+  virtual Status Initialize(const Catalog& initial_source_state);
+
+  /// W_up: an update notification arrived.
+  virtual Status OnUpdate(const Update& u, WarehouseContext* ctx) = 0;
+
+  /// A batched notification arrived (Section 7 extension). The default
+  /// processes the batch as consecutive single updates within one atomic
+  /// event, which is correct for the whole ECA family; EcaBatch overrides
+  /// this with a single inclusion-exclusion query.
+  virtual Status OnBatch(const std::vector<Update>& batch,
+                         WarehouseContext* ctx);
+
+  /// W_ans: the answer to an earlier query arrived.
+  virtual Status OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) = 0;
+
+  /// Current contents of the materialized view MV.
+  const Relation& view_contents() const { return mv_; }
+  const ViewDefinitionPtr& view_def() const { return view_; }
+
+  /// True when the maintainer has no outstanding bookkeeping (empty UQS,
+  /// no buffered deltas). Used by tests to assert clean quiescence.
+  virtual bool IsQuiescent() const { return true; }
+
+ protected:
+  /// Builds the single-term query V<u> tagged with u.id, or nullopt when
+  /// the update does not involve any view relation.
+  std::optional<Term> ViewSubstituted(const Update& u) const;
+
+  ViewDefinitionPtr view_;
+  Relation mv_;
+};
+
+/// The warehouse site: receives the single in-order stream of source
+/// messages, dispatches to the maintenance algorithm, and sends queries
+/// through the query channel while metering them.
+class Warehouse : public WarehouseContext {
+ public:
+  Warehouse(std::unique_ptr<ViewMaintainer> maintainer,
+            Channel<QueryMessage>* to_source, CostMeter* meter);
+
+  Status Initialize(const Catalog& initial_source_state) {
+    return maintainer_->Initialize(initial_source_state);
+  }
+
+  /// Processes one incoming message (one atomic warehouse event).
+  Status HandleMessage(const SourceMessage& message);
+
+  uint64_t NextQueryId() override { return next_query_id_++; }
+  void SendQuery(Query query) override;
+  void NotifyViewChanged() override {
+    if (view_observer_) {
+      view_observer_();
+    }
+  }
+
+  /// Invoked whenever a maintainer reports an intermediate view change;
+  /// the simulation uses it to snapshot mid-event states.
+  void SetViewObserver(std::function<void()> observer) {
+    view_observer_ = std::move(observer);
+  }
+
+  ViewMaintainer& maintainer() { return *maintainer_; }
+  const ViewMaintainer& maintainer() const { return *maintainer_; }
+
+ private:
+  std::unique_ptr<ViewMaintainer> maintainer_;
+  Channel<QueryMessage>* to_source_;
+  CostMeter* meter_;
+  std::function<void()> view_observer_;
+  uint64_t next_query_id_ = 1;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_CORE_WAREHOUSE_H_

@@ -1,0 +1,12 @@
+#include "multisource/ms_maintainer.h"
+
+#include "query/evaluator.h"
+
+namespace wvm {
+
+Status MsMaintainer::Initialize(const Catalog& initial) {
+  WVM_ASSIGN_OR_RETURN(mv_, EvaluateView(view_, initial));
+  return Status::OK();
+}
+
+}  // namespace wvm

@@ -1,0 +1,59 @@
+#ifndef WVM_MULTISOURCE_MS_MAINTAINER_H_
+#define WVM_MULTISOURCE_MS_MAINTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "multisource/ms_message.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+
+namespace wvm {
+
+/// Services available to a multi-source maintenance algorithm.
+class MsContext {
+ public:
+  virtual ~MsContext() = default;
+  virtual uint64_t NextQueryId() = 0;
+  /// Sends a fragment request to source `source`.
+  virtual void RequestFragments(size_t source, FragmentRequest request) = 0;
+  /// Which source owns `relation` (relation names are global).
+  virtual Result<size_t> OwnerOf(const std::string& relation) const = 0;
+  virtual size_t num_sources() const = 0;
+};
+
+/// A view-maintenance algorithm at a warehouse integrating several
+/// autonomous sources. Events mirror the single-source interface, with the
+/// originating source made explicit; per-source delivery is FIFO, but
+/// nothing orders events of different sources.
+class MsMaintainer {
+ public:
+  explicit MsMaintainer(ViewDefinitionPtr view) : view_(std::move(view)) {}
+  virtual ~MsMaintainer() = default;
+
+  MsMaintainer(const MsMaintainer&) = delete;
+  MsMaintainer& operator=(const MsMaintainer&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// `initial` is the merged initial state of every source.
+  virtual Status Initialize(const Catalog& initial);
+
+  virtual Status OnUpdate(size_t source, const Update& u, MsContext* ctx) = 0;
+  virtual Status OnFragments(size_t source, const FragmentAnswer& answer,
+                             MsContext* ctx) = 0;
+
+  const Relation& view_contents() const { return mv_; }
+  const ViewDefinitionPtr& view_def() const { return view_; }
+  virtual bool IsQuiescent() const { return true; }
+
+ protected:
+  ViewDefinitionPtr view_;
+  Relation mv_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_MULTISOURCE_MS_MAINTAINER_H_

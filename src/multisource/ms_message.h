@@ -1,0 +1,50 @@
+#ifndef WVM_MULTISOURCE_MS_MESSAGE_H_
+#define WVM_MULTISOURCE_MS_MESSAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "channel/message.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// Warehouse -> one source: "send me the current contents of these
+/// relations" (one atomic snapshot). The multi-source prototype evaluates
+/// every query at the warehouse over per-source fragments, because a
+/// legacy source can only answer questions about its own relations — the
+/// fragmentation issue Section 7 flags for the multi-source extension.
+struct FragmentRequest {
+  uint64_t query_id = 0;
+  std::vector<std::string> relations;
+};
+
+/// One source -> warehouse: the requested snapshot, taken atomically at
+/// the source's current state.
+struct FragmentAnswer {
+  uint64_t query_id = 0;
+  std::map<std::string, Relation> fragments;
+
+  int64_t TupleCount() const {
+    int64_t n = 0;
+    for (const auto& [name, r] : fragments) {
+      n += r.TotalAbsolute();
+    }
+    return n;
+  }
+};
+
+/// The per-source FIFO stream to the warehouse carries notifications and
+/// fragment answers in send order — the same in-order assumption as the
+/// single-source model, but only WITHIN each source. Cross-source arrival
+/// order is up to the interleaving, which is exactly where the new
+/// anomalies live.
+using MsSourceMessage = std::variant<UpdateNotification, FragmentAnswer>;
+
+}  // namespace wvm
+
+#endif  // WVM_MULTISOURCE_MS_MESSAGE_H_

@@ -1,0 +1,38 @@
+#include "multisource/ms_sc.h"
+
+#include "query/evaluator.h"
+
+namespace wvm {
+
+Status MsSc::Initialize(const Catalog& initial) {
+  WVM_RETURN_IF_ERROR(MsMaintainer::Initialize(initial));
+  copies_ = Catalog();
+  for (const BaseRelationDef& def : view_->relations()) {
+    WVM_ASSIGN_OR_RETURN(const Relation* data, initial.Get(def.name));
+    WVM_RETURN_IF_ERROR(copies_.DefineWithData(def, *data));
+  }
+  return Status::OK();
+}
+
+Status MsSc::OnUpdate(size_t source, const Update& u, MsContext* ctx) {
+  (void)source;
+  (void)ctx;
+  if (!view_->RelationIndex(u.relation).ok()) {
+    return Status::OK();
+  }
+  WVM_RETURN_IF_ERROR(copies_.Apply(u));
+  std::optional<Term> term = Term::FromView(view_).Substitute(u);
+  WVM_ASSIGN_OR_RETURN(Relation delta, EvaluateTerm(*term, copies_));
+  mv_.Add(delta);
+  return Status::OK();
+}
+
+Status MsSc::OnFragments(size_t source, const FragmentAnswer& answer,
+                         MsContext* ctx) {
+  (void)source;
+  (void)answer;
+  (void)ctx;
+  return Status::Internal("MsSc never requests fragments");
+}
+
+}  // namespace wvm

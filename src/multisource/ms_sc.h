@@ -1,0 +1,34 @@
+#ifndef WVM_MULTISOURCE_MS_SC_H_
+#define WVM_MULTISOURCE_MS_SC_H_
+
+#include <string>
+
+#include "multisource/ms_maintainer.h"
+
+namespace wvm {
+
+/// Store-copies across sources: the warehouse replicates every base
+/// relation of every source and maintains the view entirely locally. No
+/// fragment requests, no per-query anomalies — but, like MsEca, the
+/// warehouse integrates each source's updates in its own arrival order, so
+/// intermediate states reflect per-source prefixes rather than global
+/// prefixes. Convergent always; consistent against the global state
+/// sequence only when updates do not race across sources.
+class MsSc : public MsMaintainer {
+ public:
+  explicit MsSc(ViewDefinitionPtr view) : MsMaintainer(std::move(view)) {}
+
+  std::string name() const override { return "ms-sc"; }
+
+  Status Initialize(const Catalog& initial) override;
+  Status OnUpdate(size_t source, const Update& u, MsContext* ctx) override;
+  Status OnFragments(size_t source, const FragmentAnswer& answer,
+                     MsContext* ctx) override;
+
+ private:
+  Catalog copies_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_MULTISOURCE_MS_SC_H_

@@ -1,0 +1,215 @@
+#include "multisource/ms_simulation.h"
+
+#include "common/strings.h"
+#include "query/evaluator.h"
+
+namespace wvm {
+
+// The MsContext the maintainer sees: allocates query ids and queues
+// fragment requests into the per-source channels.
+class MsSimulation::Context : public MsContext {
+ public:
+  explicit Context(MsSimulation* sim) : sim_(sim) {}
+
+  uint64_t NextQueryId() override { return next_query_id_++; }
+
+  void RequestFragments(size_t source, FragmentRequest request) override {
+    ++sim_->fragment_requests_;
+    sim_->to_source_[source].Send(std::move(request));
+  }
+
+  Result<size_t> OwnerOf(const std::string& relation) const override {
+    auto it = sim_->owner_.find(relation);
+    if (it == sim_->owner_.end()) {
+      return Status::NotFound(
+          StrCat("relation '", relation, "' owned by no source"));
+    }
+    return it->second;
+  }
+
+  size_t num_sources() const override { return sim_->sources_.size(); }
+
+ private:
+  MsSimulation* sim_;
+  uint64_t next_query_id_ = 1;
+};
+
+MsSimulation::~MsSimulation() = default;
+
+Result<std::unique_ptr<MsSimulation>> MsSimulation::Create(
+    std::vector<Catalog> per_source, ViewDefinitionPtr view,
+    std::unique_ptr<MsMaintainer> maintainer) {
+  if (per_source.empty()) {
+    return Status::InvalidArgument("need at least one source");
+  }
+  auto sim = std::unique_ptr<MsSimulation>(new MsSimulation());
+  sim->view_ = std::move(view);
+  sim->maintainer_ = std::move(maintainer);
+  sim->context_ = std::make_unique<Context>(sim.get());
+  sim->sources_ = std::move(per_source);
+  sim->to_warehouse_.resize(sim->sources_.size());
+  sim->to_source_.resize(sim->sources_.size());
+  sim->scripts_.resize(sim->sources_.size());
+  sim->cursors_.assign(sim->sources_.size(), 0);
+
+  // Build the ownership map and the merged mirror.
+  for (size_t s = 0; s < sim->sources_.size(); ++s) {
+    for (const std::string& name : sim->sources_[s].Names()) {
+      if (!sim->owner_.emplace(name, s).second) {
+        return Status::InvalidArgument(
+            StrCat("relation '", name, "' owned by two sources"));
+      }
+      WVM_ASSIGN_OR_RETURN(const Relation* data, sim->sources_[s].Get(name));
+      WVM_RETURN_IF_ERROR(sim->merged_.DefineWithData(
+          BaseRelationDef{name, data->schema()}, *data));
+    }
+  }
+
+  WVM_RETURN_IF_ERROR(sim->maintainer_->Initialize(sim->merged_));
+  WVM_ASSIGN_OR_RETURN(Relation v0, sim->GlobalViewNow());
+  sim->state_log_.RecordSourceState(std::move(v0));
+  sim->state_log_.RecordWarehouseState(sim->maintainer_->view_contents());
+  return sim;
+}
+
+Status MsSimulation::SetUpdateScript(size_t source,
+                                     std::vector<Update> script) {
+  if (source >= sources_.size()) {
+    return Status::OutOfRange("no such source");
+  }
+  scripts_[source] = std::move(script);
+  cursors_[source] = 0;
+  return Status::OK();
+}
+
+bool MsSimulation::CanSourceUpdate(size_t s) const {
+  return cursors_[s] < scripts_[s].size();
+}
+bool MsSimulation::CanSourceAnswer(size_t s) const {
+  return to_source_[s].HasMessage();
+}
+bool MsSimulation::CanWarehouseStep(size_t s) const {
+  return to_warehouse_[s].HasMessage();
+}
+
+bool MsSimulation::Quiescent() const {
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (CanSourceUpdate(s) || CanSourceAnswer(s) || CanWarehouseStep(s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status MsSimulation::StepSourceUpdate(size_t s) {
+  if (!CanSourceUpdate(s)) {
+    return Status::FailedPrecondition("no scripted updates at this source");
+  }
+  Update u = scripts_[s][cursors_[s]++];
+  u.id = next_update_id_++;
+  WVM_RETURN_IF_ERROR(sources_[s].Apply(u));
+  WVM_RETURN_IF_ERROR(merged_.Apply(u));
+  to_warehouse_[s].Send(UpdateNotification{std::move(u)});
+  WVM_ASSIGN_OR_RETURN(Relation v, GlobalViewNow());
+  state_log_.RecordSourceState(std::move(v));
+  return Status::OK();
+}
+
+Status MsSimulation::StepSourceAnswer(size_t s) {
+  if (!CanSourceAnswer(s)) {
+    return Status::FailedPrecondition("no pending fragment requests");
+  }
+  FragmentRequest request = to_source_[s].Receive();
+  FragmentAnswer answer;
+  answer.query_id = request.query_id;
+  for (const std::string& name : request.relations) {
+    WVM_ASSIGN_OR_RETURN(const Relation* data, sources_[s].Get(name));
+    answer.fragments.emplace(name, *data);
+  }
+  fragment_tuples_ += answer.TupleCount();
+  to_warehouse_[s].Send(std::move(answer));
+  return Status::OK();
+}
+
+Status MsSimulation::StepWarehouse(size_t s) {
+  if (!CanWarehouseStep(s)) {
+    return Status::FailedPrecondition("no messages from this source");
+  }
+  MsSourceMessage m = to_warehouse_[s].Receive();
+  if (const auto* up = std::get_if<UpdateNotification>(&m)) {
+    WVM_RETURN_IF_ERROR(
+        maintainer_->OnUpdate(s, up->update, context_.get()));
+  } else {
+    WVM_RETURN_IF_ERROR(maintainer_->OnFragments(
+        s, std::get<FragmentAnswer>(m), context_.get()));
+  }
+  state_log_.RecordWarehouseState(maintainer_->view_contents());
+  return Status::OK();
+}
+
+std::vector<MsAction> MsSimulation::EnabledActions() const {
+  std::vector<MsAction> actions;
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (CanSourceUpdate(s)) {
+      actions.push_back({MsAction::Kind::kSourceUpdate, s});
+    }
+    if (CanSourceAnswer(s)) {
+      actions.push_back({MsAction::Kind::kSourceAnswer, s});
+    }
+    if (CanWarehouseStep(s)) {
+      actions.push_back({MsAction::Kind::kWarehouseStep, s});
+    }
+  }
+  return actions;
+}
+
+namespace {
+
+Status Step(MsSimulation* sim, const MsAction& action) {
+  switch (action.kind) {
+    case MsAction::Kind::kSourceUpdate:
+      return sim->StepSourceUpdate(action.source);
+    case MsAction::Kind::kSourceAnswer:
+      return sim->StepSourceAnswer(action.source);
+    case MsAction::Kind::kWarehouseStep:
+      return sim->StepWarehouse(action.source);
+  }
+  return Status::Internal("unknown action");
+}
+
+}  // namespace
+
+Status MsSimulation::RunRandom(uint64_t seed) {
+  Random rng(seed);
+  while (true) {
+    std::vector<MsAction> actions = EnabledActions();
+    if (actions.empty()) {
+      return Status::OK();
+    }
+    WVM_RETURN_IF_ERROR(Step(this, actions[rng.Uniform(actions.size())]));
+  }
+}
+
+Status MsSimulation::RunBestCase() {
+  while (true) {
+    std::vector<MsAction> actions = EnabledActions();
+    if (actions.empty()) {
+      return Status::OK();
+    }
+    // Prefer warehouse steps, then answers, then updates — each update's
+    // round trip drains before the next update anywhere.
+    const MsAction* chosen = &actions.front();
+    for (const MsAction& a : actions) {
+      if (static_cast<int>(a.kind) > static_cast<int>(chosen->kind)) {
+        chosen = &a;
+      }
+    }
+    WVM_RETURN_IF_ERROR(Step(this, *chosen));
+  }
+}
+
+Result<Relation> MsSimulation::GlobalViewNow() const {
+  return EvaluateView(view_, merged_);
+}
+
+}  // namespace wvm

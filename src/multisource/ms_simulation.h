@@ -1,0 +1,105 @@
+#ifndef WVM_MULTISOURCE_MS_SIMULATION_H_
+#define WVM_MULTISOURCE_MS_SIMULATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "consistency/state_log.h"
+#include "multisource/ms_maintainer.h"
+#include "multisource/ms_message.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+
+namespace wvm {
+
+/// An atomic event of the multi-source system: some site makes one step.
+struct MsAction {
+  enum class Kind { kSourceUpdate, kSourceAnswer, kWarehouseStep };
+  Kind kind;
+  size_t source;  // which source (for kWarehouseStep: which inbound stream)
+};
+
+/// A warehouse integrating N autonomous sources, each with its own
+/// relations, its own update script, and its own FIFO channel pair.
+/// Within a source everything is ordered; across sources nothing is —
+/// realizing the environment Section 7 reserves for future work.
+///
+/// The state log records V over the MERGED catalog after every source
+/// update (the global state sequence ss_0, ss_1, ...) and the warehouse
+/// view after every warehouse event, so the single-source consistency
+/// checker applies unchanged — and shows which guarantees survive the
+/// multi-source generalization.
+class MsSimulation {
+ public:
+  /// Each catalog holds the relations owned by one source; relation names
+  /// must be globally unique. The view may span all of them.
+  static Result<std::unique_ptr<MsSimulation>> Create(
+      std::vector<Catalog> per_source, ViewDefinitionPtr view,
+      std::unique_ptr<MsMaintainer> maintainer);
+
+  ~MsSimulation();  // out of line: Context is incomplete here
+
+  /// Per-source update script; the interleaving ACROSS sources is chosen
+  /// by the driving policy.
+  Status SetUpdateScript(size_t source, std::vector<Update> script);
+
+  size_t num_sources() const { return sources_.size(); }
+
+  bool CanSourceUpdate(size_t source) const;
+  bool CanSourceAnswer(size_t source) const;
+  bool CanWarehouseStep(size_t source) const;
+  bool Quiescent() const;
+
+  Status StepSourceUpdate(size_t source);
+  Status StepSourceAnswer(size_t source);
+  Status StepWarehouse(size_t source);
+
+  /// All currently enabled actions (for policies).
+  std::vector<MsAction> EnabledActions() const;
+
+  /// Runs to quiescence choosing uniformly among enabled actions.
+  Status RunRandom(uint64_t seed);
+
+  /// Runs to quiescence answering and delivering eagerly (each update's
+  /// full round trip completes before the next update anywhere).
+  Status RunBestCase();
+
+  const Relation& warehouse_view() const {
+    return maintainer_->view_contents();
+  }
+  const MsMaintainer& maintainer() const { return *maintainer_; }
+  /// The view over the merged current state of all sources.
+  Result<Relation> GlobalViewNow() const;
+  const StateLog& state_log() const { return state_log_; }
+  int64_t fragment_requests() const { return fragment_requests_; }
+  int64_t fragment_tuples() const { return fragment_tuples_; }
+
+ private:
+  class Context;
+
+  MsSimulation() = default;
+
+  ViewDefinitionPtr view_;
+  std::unique_ptr<MsMaintainer> maintainer_;
+  std::unique_ptr<Context> context_;
+  std::vector<Catalog> sources_;
+  Catalog merged_;  // mirror of all sources, for global states
+  std::map<std::string, size_t> owner_;
+  std::vector<Channel<MsSourceMessage>> to_warehouse_;
+  std::vector<Channel<FragmentRequest>> to_source_;
+  std::vector<std::vector<Update>> scripts_;
+  std::vector<size_t> cursors_;
+  StateLog state_log_;
+  uint64_t next_update_id_ = 1;
+  int64_t fragment_requests_ = 0;
+  int64_t fragment_tuples_ = 0;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_MULTISOURCE_MS_SIMULATION_H_

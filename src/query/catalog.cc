@@ -1,0 +1,74 @@
+#include "query/catalog.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+Status Catalog::Define(const BaseRelationDef& def) {
+  return DefineWithData(def, Relation(def.schema));
+}
+
+Status Catalog::DefineWithData(const BaseRelationDef& def, Relation data) {
+  if (relations_.count(def.name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("relation '", def.name, "' already defined"));
+  }
+  if (data.schema() != def.schema) {
+    return Status::InvalidArgument(
+        StrCat("initial data schema ", data.schema().ToString(),
+               " does not match definition ", def.schema.ToString()));
+  }
+  relations_.emplace(def.name, std::move(data));
+  return Status::OK();
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+Result<const Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not defined"));
+  }
+  return &it->second;
+}
+
+Result<Relation*> Catalog::GetMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not defined"));
+  }
+  return &it->second;
+}
+
+Result<Schema> Catalog::GetSchema(const std::string& name) const {
+  WVM_ASSIGN_OR_RETURN(const Relation* r, Get(name));
+  return r->schema();
+}
+
+Status Catalog::Apply(const Update& u) {
+  WVM_ASSIGN_OR_RETURN(Relation * r, GetMutable(u.relation));
+  if (u.tuple.size() != r->schema().size()) {
+    return Status::InvalidArgument(
+        StrCat("update ", u.ToString(), " arity mismatch with schema ",
+               r->schema().ToString()));
+  }
+  if (u.kind == UpdateKind::kDelete && r->CountOf(u.tuple) <= 0) {
+    return Status::FailedPrecondition(
+        StrCat("delete of absent tuple: ", u.ToString()));
+  }
+  r->Insert(u.tuple, u.sign());
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace wvm

@@ -1,0 +1,50 @@
+#ifndef WVM_QUERY_CATALOG_H_
+#define WVM_QUERY_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/view_def.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// A named collection of base relations with their current contents — the
+/// logical state of a source (or of the warehouse's local copies under the
+/// SC strategy). Updates apply single signed tuples; deleting a tuple that
+/// is not present is rejected, matching the paper's assumption that sources
+/// execute valid updates.
+class Catalog {
+ public:
+  /// Registers an empty relation. Fails if the name already exists.
+  Status Define(const BaseRelationDef& def);
+
+  /// Registers a relation with initial contents.
+  Status DefineWithData(const BaseRelationDef& def, Relation data);
+
+  bool Contains(const std::string& name) const;
+
+  Result<const Relation*> Get(const std::string& name) const;
+  Result<Relation*> GetMutable(const std::string& name);
+
+  Result<Schema> GetSchema(const std::string& name) const;
+
+  /// Executes `u` against the stored relation.
+  Status Apply(const Update& u);
+
+  /// Names of all defined relations, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Deep snapshot of the catalog (used to record source states).
+  Catalog Clone() const { return *this; }
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_QUERY_CATALOG_H_

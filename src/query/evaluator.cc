@@ -1,0 +1,190 @@
+#include "query/evaluator.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "relational/algebra.h"
+
+namespace wvm {
+
+Schema OperandSliceSchema(const ViewDefinition& view, size_t i) {
+  const size_t offset = view.relation_offset(i);
+  const size_t arity = view.relations()[i].schema.size();
+  std::vector<size_t> indices(arity);
+  for (size_t a = 0; a < arity; ++a) {
+    indices[a] = offset + a;
+  }
+  return view.combined_schema().Project(indices);
+}
+
+namespace {
+
+// Materializes operand `i` of `term`: either the bound signed tuple or the
+// catalog relation, re-labelled with the qualified slice of the combined
+// schema.
+Result<Relation> MaterializeOperand(const Term& term, size_t i,
+                                    const Catalog& catalog) {
+  const ViewDefinition& view = *term.view();
+  Schema slice = OperandSliceSchema(view, i);
+  const TermOperand& op = term.operands()[i];
+  if (op.is_bound) {
+    if (op.bound.tuple.size() != slice.size()) {
+      return Status::InvalidArgument(
+          StrCat("bound tuple ", op.bound.tuple.ToString(),
+                 " arity mismatch for relation ", view.relations()[i].name));
+    }
+    Relation r(std::move(slice));
+    r.Insert(op.bound.tuple, op.bound.sign);
+    return r;
+  }
+  WVM_ASSIGN_OR_RETURN(const Relation* stored,
+                       catalog.Get(view.relations()[i].name));
+  Relation r(std::move(slice));
+  for (const auto& [t, c] : stored->entries()) {
+    r.Insert(t, c);
+  }
+  return r;
+}
+
+// Joins `acc` (columns [0, acc_width)) with `next` (columns
+// [acc_width, acc_width + next_width) of the combined schema) using the
+// applicable equi-edges; falls back to cross product when none apply.
+Result<Relation> JoinStep(const Relation& acc, const Relation& next,
+                          size_t acc_width,
+                          const std::vector<ViewDefinition::EquiEdge>& edges) {
+  const size_t next_width = next.schema().size();
+  std::vector<size_t> acc_cols;
+  std::vector<size_t> next_cols;
+  for (const ViewDefinition::EquiEdge& e : edges) {
+    size_t lo = std::min(e.left_column, e.right_column);
+    size_t hi = std::max(e.left_column, e.right_column);
+    if (lo < acc_width && hi >= acc_width && hi < acc_width + next_width) {
+      acc_cols.push_back(lo);
+      next_cols.push_back(hi - acc_width);
+    }
+  }
+
+  WVM_ASSIGN_OR_RETURN(Schema out_schema, acc.schema().Concat(next.schema()));
+  Relation out(std::move(out_schema));
+  if (acc_cols.empty()) {
+    for (const auto& [ta, ca] : acc.entries()) {
+      for (const auto& [tb, cb] : next.entries()) {
+        out.Insert(ta.Concat(tb), ca * cb);
+      }
+    }
+    return out;
+  }
+
+  std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>,
+                     TupleHash>
+      next_by_key;
+  for (const auto& [tb, cb] : next.entries()) {
+    next_by_key[tb.Project(next_cols)].emplace_back(&tb, cb);
+  }
+  for (const auto& [ta, ca] : acc.entries()) {
+    auto it = next_by_key.find(ta.Project(acc_cols));
+    if (it == next_by_key.end()) {
+      continue;
+    }
+    for (const auto& [tb, cb] : it->second) {
+      out.Insert(ta.Concat(*tb), ca * cb);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> JoinMaterializedOperands(
+    const ViewDefinition& view, const std::vector<Relation>& operands) {
+  if (operands.size() != view.num_relations()) {
+    return Status::InvalidArgument(
+        StrCat("expected ", view.num_relations(), " operands, got ",
+               operands.size()));
+  }
+  Relation acc = operands[0];
+  size_t acc_width = acc.schema().size();
+  for (size_t i = 1; i < operands.size(); ++i) {
+    WVM_ASSIGN_OR_RETURN(
+        acc, JoinStep(acc, operands[i], acc_width, view.equi_edges()));
+    acc_width = acc.schema().size();
+  }
+  Relation filtered = SelectBound(acc, view.bound_cond());
+  return ProjectIndices(filtered, view.projection_indices());
+}
+
+Result<Relation> EvaluateTerm(const Term& term, const Catalog& catalog) {
+  const ViewDefinition& view = *term.view();
+
+  std::vector<Relation> operands;
+  operands.reserve(view.num_relations());
+  for (size_t i = 0; i < view.num_relations(); ++i) {
+    WVM_ASSIGN_OR_RETURN(Relation op, MaterializeOperand(term, i, catalog));
+    operands.push_back(std::move(op));
+  }
+  WVM_ASSIGN_OR_RETURN(Relation projected,
+                       JoinMaterializedOperands(view, operands));
+  if (term.coefficient() == 1) {
+    return projected;
+  }
+  Relation out(projected.schema());
+  for (const auto& [t, c] : projected.entries()) {
+    out.Insert(t, c * term.coefficient());
+  }
+  return out;
+}
+
+Result<Relation> EvaluateTermNaive(const Term& term, const Catalog& catalog) {
+  const ViewDefinition& view = *term.view();
+  WVM_ASSIGN_OR_RETURN(Relation acc, MaterializeOperand(term, 0, catalog));
+  for (size_t i = 1; i < view.num_relations(); ++i) {
+    WVM_ASSIGN_OR_RETURN(Relation next, MaterializeOperand(term, i, catalog));
+    WVM_ASSIGN_OR_RETURN(acc, CrossProduct(acc, next));
+  }
+  Relation filtered = SelectBound(acc, view.bound_cond());
+  Relation projected = ProjectIndices(filtered, view.projection_indices());
+  Relation out(projected.schema());
+  for (const auto& [t, c] : projected.entries()) {
+    out.Insert(t, c * term.coefficient());
+  }
+  return out;
+}
+
+Result<Relation> EvaluateQuery(const Query& query, const Catalog& catalog) {
+  Relation out;
+  bool first = true;
+  for (const Term& t : query.terms()) {
+    WVM_ASSIGN_OR_RETURN(Relation part, EvaluateTerm(t, catalog));
+    if (first) {
+      out = std::move(part);
+      first = false;
+    } else {
+      out.Add(part);
+    }
+  }
+  if (first && !query.terms().empty()) {
+    return Status::Internal("unreachable");
+  }
+  if (query.terms().empty()) {
+    return Relation();
+  }
+  return out;
+}
+
+Result<std::vector<Relation>> EvaluateQueryPerTerm(const Query& query,
+                                                   const Catalog& catalog) {
+  std::vector<Relation> out;
+  out.reserve(query.terms().size());
+  for (const Term& t : query.terms()) {
+    WVM_ASSIGN_OR_RETURN(Relation part, EvaluateTerm(t, catalog));
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+Result<Relation> EvaluateView(const ViewDefinitionPtr& view,
+                              const Catalog& catalog) {
+  return EvaluateTerm(Term::FromView(view), catalog);
+}
+
+}  // namespace wvm

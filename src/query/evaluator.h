@@ -1,0 +1,59 @@
+#ifndef WVM_QUERY_EVALUATOR_H_
+#define WVM_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "query/catalog.h"
+#include "query/query.h"
+#include "query/term.h"
+#include "query/view_def.h"
+#include "relational/relation.h"
+
+namespace wvm {
+
+/// Logical (in-memory) evaluation of terms, queries and views against a
+/// catalog. Bound operands contribute one tuple with multiplicity equal to
+/// their sign, so answers to queries over deletions carry minus-signed
+/// tuples exactly as in Section 4.1.
+///
+/// Terms are evaluated with hash joins along the view's equi-join edges
+/// (cross product only between genuinely unconnected operands), followed by
+/// the residual condition and the projection. The physical evaluator in
+/// src/source mirrors this but charges I/O; results are differential-tested
+/// against each other and against EvaluateTermNaive.
+
+/// The qualified slice of the combined schema covering relation position
+/// `i` of the view.
+Schema OperandSliceSchema(const ViewDefinition& view, size_t i);
+
+/// Joins fully materialized operands — one Relation per relation position,
+/// in order, each carrying the qualified slice schema — then applies the
+/// residual condition and the projection. Used both by the logical
+/// evaluator (whole relations) and by the physical nested-loop evaluator
+/// (per-block slices). No term coefficient is applied.
+Result<Relation> JoinMaterializedOperands(const ViewDefinition& view,
+                                          const std::vector<Relation>& operands);
+
+/// Evaluates one term, including its coefficient.
+Result<Relation> EvaluateTerm(const Term& term, const Catalog& catalog);
+
+/// Reference implementation: full cross product, then select, then project.
+/// Exponential in relation count; for tests only.
+Result<Relation> EvaluateTermNaive(const Term& term, const Catalog& catalog);
+
+/// Sum of all term results.
+Result<Relation> EvaluateQuery(const Query& query, const Catalog& catalog);
+
+/// Per-term results, aligned with query.terms(). LCA consumes these to
+/// split per-update deltas.
+Result<std::vector<Relation>> EvaluateQueryPerTerm(const Query& query,
+                                                   const Catalog& catalog);
+
+/// The full view contents V[state] over the catalog.
+Result<Relation> EvaluateView(const ViewDefinitionPtr& view,
+                              const Catalog& catalog);
+
+}  // namespace wvm
+
+#endif  // WVM_QUERY_EVALUATOR_H_

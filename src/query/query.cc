@@ -1,0 +1,82 @@
+#include "query/query.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+void Query::SubtractTerms(const Query& other) {
+  for (const Term& t : other.terms_) {
+    terms_.push_back(t.Negated());
+  }
+}
+
+Query Query::Substitute(const Update& u) const {
+  Query out;
+  out.id_ = id_;
+  out.update_id_ = update_id_;
+  for (const Term& t : terms_) {
+    std::optional<Term> substituted = t.Substitute(u);
+    if (substituted.has_value()) {
+      out.terms_.push_back(std::move(*substituted));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Expands one term over all non-empty subsets of `batch`, flipping the
+// coefficient for every element beyond the first.
+void ExpandTerm(const Term& term, const std::vector<Update>& batch, size_t i,
+                bool any_substituted, std::vector<Term>* out) {
+  if (i == batch.size()) {
+    if (any_substituted) {
+      out->push_back(term);
+    }
+    return;
+  }
+  // Exclude batch[i].
+  ExpandTerm(term, batch, i + 1, any_substituted, out);
+  // Include batch[i] (drops out if the position is already bound).
+  std::optional<Term> substituted = term.Substitute(batch[i]);
+  if (substituted.has_value()) {
+    if (any_substituted) {
+      *substituted = substituted->Negated();
+    }
+    ExpandTerm(*substituted, batch, i + 1, /*any_substituted=*/true, out);
+  }
+}
+
+}  // namespace
+
+Query Query::InclusionExclusionSubstitute(
+    const std::vector<Update>& batch) const {
+  Query out;
+  out.id_ = id_;
+  out.update_id_ = update_id_;
+  for (const Term& t : terms_) {
+    ExpandTerm(t, batch, 0, /*any_substituted=*/false, &out.terms_);
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  if (terms_.empty()) {
+    return StrCat("Q", id_, " = (empty)");
+  }
+  std::string out = StrCat("Q", id_, " = ");
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    const std::string rendered = terms_[i].ToString();
+    if (i == 0) {
+      out += rendered;
+    } else if (terms_[i].coefficient() < 0) {
+      // Negated terms already render a leading '-'.
+      out += StrCat(" ", rendered.substr(0, 1), " ", rendered.substr(1));
+    } else {
+      out += StrCat(" + ", rendered);
+    }
+  }
+  return out;
+}
+
+}  // namespace wvm

@@ -1,0 +1,75 @@
+#ifndef WVM_QUERY_TERM_H_
+#define WVM_QUERY_TERM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/view_def.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// One operand position of a term: either the base relation at that position
+/// of the view (unbound), or a concrete signed tuple substituted for it.
+struct TermOperand {
+  bool is_bound = false;
+  SignedTuple bound;  // valid iff is_bound
+};
+
+/// One term of a query expression (Equation 4.1):
+///
+///     T = pi_proj( sigma_cond( ~r1 x ~r2 x ... x ~rn ) )
+///
+/// where each ~ri is either the view's i-th base relation or an updated
+/// (signed) tuple of it. The projection and condition always come from the
+/// owning view. `coefficient` (+1/-1) records whether the term entered the
+/// query positively or via compensation subtraction; `delta_update_id` tags
+/// which update's view-delta the term's answer belongs to (used by LCA to
+/// split per-update deltas, ignored by ECA which just sums everything).
+class Term {
+ public:
+  /// The unsubstituted view expression V as a term (all positions unbound).
+  static Term FromView(ViewDefinitionPtr view);
+
+  const ViewDefinitionPtr& view() const { return view_; }
+  const std::vector<TermOperand>& operands() const { return operands_; }
+  int coefficient() const { return coefficient_; }
+  uint64_t delta_update_id() const { return delta_update_id_; }
+
+  void set_coefficient(int c) { coefficient_ = c; }
+  void set_delta_update_id(uint64_t id) { delta_update_id_ = id; }
+
+  /// Returns a copy with the coefficient negated.
+  Term Negated() const;
+
+  /// The substitution T<U> of Section 4.2: if the position of U's relation
+  /// is already bound, the result is the empty query (nullopt); otherwise
+  /// that position is bound to tuple(U) signed by the update kind. The
+  /// returned term keeps this term's coefficient and delta tag.
+  std::optional<Term> Substitute(const Update& u) const;
+
+  /// True if no position is bound (the full view expression).
+  bool IsUnsubstituted() const;
+
+  /// Number of bound positions.
+  size_t NumBound() const;
+
+  /// Upper bound on the bytes a source must ship to answer this term alone;
+  /// used only for diagnostics.
+  std::string ToString() const;
+
+ private:
+  explicit Term(ViewDefinitionPtr view);
+
+  ViewDefinitionPtr view_;
+  std::vector<TermOperand> operands_;
+  int coefficient_ = +1;
+  uint64_t delta_update_id_ = 0;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_QUERY_TERM_H_

@@ -1,0 +1,220 @@
+#include "query/view_def.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+namespace {
+
+// How many base relations declare an attribute called `name`.
+int NameCount(const std::vector<BaseRelationDef>& relations,
+              const std::string& name) {
+  int count = 0;
+  for (const BaseRelationDef& r : relations) {
+    if (r.schema.IndexOf(name).has_value()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// Combined-schema name of relation `rel`'s attribute `attr`: bare when the
+// bare name is unique across the view's base relations, "rel.attr" otherwise.
+std::string QualifiedName(const std::vector<BaseRelationDef>& relations,
+                          const std::string& rel, const std::string& attr) {
+  return NameCount(relations, attr) > 1 ? StrCat(rel, ".", attr) : attr;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
+    std::string name, std::vector<BaseRelationDef> relations,
+    std::vector<std::string> projection, Predicate cond) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("view must have at least one relation");
+  }
+  std::set<std::string> seen;
+  for (const BaseRelationDef& r : relations) {
+    if (!seen.insert(r.name).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate base relation '", r.name,
+                 "'; the paper assumes distinct relations (Section 4)"));
+    }
+    if (r.schema.size() == 0) {
+      return Status::InvalidArgument(
+          StrCat("base relation '", r.name, "' has an empty schema"));
+    }
+  }
+
+  auto view = std::shared_ptr<ViewDefinition>(new ViewDefinition());
+  view->name_ = std::move(name);
+  view->relations_ = std::move(relations);
+  view->cond_ = std::move(cond);
+
+  // Combined schema with collision-qualified names.
+  std::vector<Attribute> combined;
+  for (const BaseRelationDef& r : view->relations_) {
+    view->relation_offsets_.push_back(combined.size());
+    for (const Attribute& a : r.schema.attributes()) {
+      Attribute qualified = a;
+      qualified.name = QualifiedName(view->relations_, r.name, a.name);
+      combined.push_back(std::move(qualified));
+    }
+  }
+  view->combined_schema_ = Schema(std::move(combined));
+
+  // Resolve projection.
+  WVM_ASSIGN_OR_RETURN(view->projection_indices_,
+                       view->combined_schema_.IndicesOf(projection));
+  view->output_schema_ =
+      view->combined_schema_.Project(view->projection_indices_);
+
+  // Bind the condition.
+  WVM_ASSIGN_OR_RETURN(view->bound_cond_,
+                       view->cond_.Bind(view->combined_schema_));
+
+  // Key coverage (applicability of ECA-Key).
+  view->has_all_base_keys_ = true;
+  for (const BaseRelationDef& r : view->relations_) {
+    bool has_key_attr = false;
+    for (const Attribute& a : r.schema.attributes()) {
+      if (!a.is_key) {
+        continue;
+      }
+      has_key_attr = true;
+      std::string qualified = QualifiedName(view->relations_, r.name, a.name);
+      std::optional<size_t> combined_index =
+          view->combined_schema_.IndexOf(qualified);
+      bool projected =
+          combined_index.has_value() &&
+          std::find(view->projection_indices_.begin(),
+                    view->projection_indices_.end(),
+                    *combined_index) != view->projection_indices_.end();
+      if (!projected) {
+        view->has_all_base_keys_ = false;
+      }
+    }
+    if (!has_key_attr) {
+      view->has_all_base_keys_ = false;
+    }
+  }
+
+  // Equi-join edges from top-level conjuncts of the form attr = attr.
+  for (const Predicate& conjunct : view->cond_.TopLevelConjuncts()) {
+    std::optional<Predicate::ComparisonLeaf> leaf = conjunct.AsComparison();
+    if (!leaf.has_value() || leaf->op != CompareOp::kEq ||
+        !leaf->lhs.is_attr() || !leaf->rhs.is_attr()) {
+      continue;
+    }
+    std::optional<size_t> l =
+        view->combined_schema_.IndexOf(leaf->lhs.attr_name());
+    std::optional<size_t> r =
+        view->combined_schema_.IndexOf(leaf->rhs.attr_name());
+    if (l.has_value() && r.has_value() && *l != *r) {
+      view->equi_edges_.push_back(EquiEdge{*l, *r});
+    }
+  }
+
+  return std::shared_ptr<const ViewDefinition>(std::move(view));
+}
+
+Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::NaturalJoin(
+    std::string name, std::vector<BaseRelationDef> relations,
+    std::vector<std::string> projection, Predicate extra_cond) {
+  // Gather every attribute name and the relations that declare it.
+  std::map<std::string, std::vector<std::string>> owners;  // attr -> rels
+  for (const BaseRelationDef& r : relations) {
+    for (const Attribute& a : r.schema.attributes()) {
+      owners[a.name].push_back(r.name);
+    }
+  }
+
+  // Equality conditions between consecutive occurrences of shared names.
+  Predicate cond = std::move(extra_cond);
+  for (const auto& [attr, rels] : owners) {
+    for (size_t i = 1; i < rels.size(); ++i) {
+      cond = Predicate::And(
+          std::move(cond),
+          Predicate::AttrCompare(StrCat(rels[i - 1], ".", attr),
+                                 CompareOp::kEq,
+                                 StrCat(rels[i], ".", attr)));
+    }
+  }
+
+  // A bare projected name that is shared resolves to its first occurrence
+  // (all occurrences are equal under the join condition anyway).
+  for (std::string& p : projection) {
+    auto it = owners.find(p);
+    if (it != owners.end() && it->second.size() > 1) {
+      p = StrCat(it->second.front(), ".", p);
+    }
+  }
+
+  return Create(std::move(name), std::move(relations), std::move(projection),
+                std::move(cond));
+}
+
+Result<size_t> ViewDefinition::RelationIndex(const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) {
+      return i;
+    }
+  }
+  return Status::NotFound(
+      StrCat("relation '", name, "' not part of view ", name_));
+}
+
+Result<std::vector<std::pair<size_t, Value>>> ViewDefinition::KeyConstraintsFor(
+    const Update& u) const {
+  WVM_ASSIGN_OR_RETURN(size_t ri, RelationIndex(u.relation));
+  const BaseRelationDef& rel = relations_[ri];
+  if (u.tuple.size() != rel.schema.size()) {
+    return Status::InvalidArgument(
+        StrCat("update tuple ", u.tuple.ToString(), " has arity ",
+               u.tuple.size(), ", relation ", rel.name, " expects ",
+               rel.schema.size()));
+  }
+  std::vector<std::pair<size_t, Value>> constraints;
+  for (size_t a = 0; a < rel.schema.size(); ++a) {
+    if (!rel.schema.attribute(a).is_key) {
+      continue;
+    }
+    size_t combined_index = relation_offsets_[ri] + a;
+    auto it = std::find(projection_indices_.begin(),
+                        projection_indices_.end(), combined_index);
+    if (it == projection_indices_.end()) {
+      return Status::FailedPrecondition(
+          StrCat("key attribute '", rel.schema.attribute(a).name,
+                 "' of relation ", rel.name,
+                 " is not in the view projection; ECA-Key inapplicable"));
+    }
+    size_t output_column =
+        static_cast<size_t>(it - projection_indices_.begin());
+    constraints.emplace_back(output_column, u.tuple.value(a));
+  }
+  if (constraints.empty()) {
+    return Status::FailedPrecondition(
+        StrCat("relation ", rel.name,
+               " declares no key attributes; ECA-Key inapplicable"));
+  }
+  return constraints;
+}
+
+std::string ViewDefinition::ToString() const {
+  std::vector<std::string> proj_names;
+  for (size_t i : projection_indices_) {
+    proj_names.push_back(combined_schema_.attribute(i).name);
+  }
+  std::vector<std::string> rel_names;
+  for (const BaseRelationDef& r : relations_) {
+    rel_names.push_back(r.name);
+  }
+  return StrCat(name_, " = pi_{", Join(proj_names, ","), "}(sigma_{",
+                cond_.ToString(), "}(", Join(rel_names, " x "), "))");
+}
+
+}  // namespace wvm

@@ -1,0 +1,110 @@
+#ifndef WVM_QUERY_VIEW_DEF_H_
+#define WVM_QUERY_VIEW_DEF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/predicate.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// Name and schema of one base relation participating in a view.
+struct BaseRelationDef {
+  std::string name;
+  Schema schema;
+};
+
+/// A warehouse view in the paper's normal form (Section 4):
+///
+///     V = pi_proj( sigma_cond( r1 x r2 x ... x rn ) )
+///
+/// Base relations are distinct. Attributes of the combined (cross-product)
+/// schema are qualified as "rel.attr"; `proj` and `cond` may reference an
+/// attribute unqualified when its name is unique across the base relations
+/// (as in all of the paper's examples) or qualified otherwise.
+///
+/// Immutable after construction; shared by queries derived from it.
+class ViewDefinition {
+ public:
+  /// Builds and validates a view. `projection` and `cond` are resolved
+  /// against the combined schema.
+  static Result<std::shared_ptr<const ViewDefinition>> Create(
+      std::string name, std::vector<BaseRelationDef> relations,
+      std::vector<std::string> projection, Predicate cond);
+
+  /// Convenience builder for natural-join views like the paper's
+  /// V = pi_W(r1 |x| r2 |x| r3): adds equality conditions between every
+  /// pair of same-named attributes of different base relations, conjoined
+  /// with `extra_cond`.
+  static Result<std::shared_ptr<const ViewDefinition>> NaturalJoin(
+      std::string name, std::vector<BaseRelationDef> relations,
+      std::vector<std::string> projection, Predicate extra_cond = Predicate());
+
+  const std::string& name() const { return name_; }
+  const std::vector<BaseRelationDef>& relations() const { return relations_; }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Index of base relation `name` in relations(), or error.
+  Result<size_t> RelationIndex(const std::string& name) const;
+
+  /// The qualified cross-product schema r1 x ... x rn.
+  const Schema& combined_schema() const { return combined_schema_; }
+  /// Output schema of the view (projected attributes, qualified names).
+  const Schema& output_schema() const { return output_schema_; }
+  /// Projection column indices into the combined schema.
+  const std::vector<size_t>& projection_indices() const {
+    return projection_indices_;
+  }
+  /// Offset of relation i's first column in the combined schema.
+  size_t relation_offset(size_t i) const { return relation_offsets_[i]; }
+
+  const Predicate& cond() const { return cond_; }
+  const BoundPredicate& bound_cond() const { return bound_cond_; }
+
+  /// True if for every base relation, all of its key attributes are present
+  /// in the projection and the relation declares at least one key attribute.
+  /// This is the applicability condition of ECA-Key (Section 5.4).
+  bool HasAllBaseKeys() const { return has_all_base_keys_; }
+
+  /// For a view with HasAllBaseKeys(): the output-column constraints implied
+  /// by deleting/inserting `u.tuple` in `u.relation` — pairs of (output
+  /// column index, key value). The key-delete operation of ECA-Key removes
+  /// every view tuple matching all constraints.
+  Result<std::vector<std::pair<size_t, Value>>> KeyConstraintsFor(
+      const Update& u) const;
+
+  /// Equi-join edges extracted from top-level conjuncts of `cond` of the
+  /// form attr = attr; used by evaluators to plan hash joins.
+  struct EquiEdge {
+    size_t left_column;   // index into combined schema
+    size_t right_column;  // index into combined schema
+  };
+  const std::vector<EquiEdge>& equi_edges() const { return equi_edges_; }
+
+  /// Renders e.g. "V = pi_{W}(sigma_{true}(r1 x r2))".
+  std::string ToString() const;
+
+ private:
+  ViewDefinition() = default;
+
+  std::string name_;
+  std::vector<BaseRelationDef> relations_;
+  std::vector<size_t> relation_offsets_;
+  Schema combined_schema_;
+  Schema output_schema_;
+  std::vector<size_t> projection_indices_;
+  Predicate cond_;
+  BoundPredicate bound_cond_;
+  bool has_all_base_keys_ = false;
+  std::vector<EquiEdge> equi_edges_;
+};
+
+using ViewDefinitionPtr = std::shared_ptr<const ViewDefinition>;
+
+}  // namespace wvm
+
+#endif  // WVM_QUERY_VIEW_DEF_H_

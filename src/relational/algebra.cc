@@ -1,0 +1,97 @@
+#include "relational/algebra.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+Result<Relation> Select(const Relation& r, const Predicate& cond) {
+  WVM_ASSIGN_OR_RETURN(BoundPredicate bound, cond.Bind(r.schema()));
+  return SelectBound(r, bound);
+}
+
+Relation SelectBound(const Relation& r, const BoundPredicate& cond) {
+  Relation out(r.schema());
+  for (const auto& [t, c] : r.entries()) {
+    if (cond.Eval(t)) {
+      out.Insert(t, c);
+    }
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attrs) {
+  WVM_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                       r.schema().IndicesOf(attrs));
+  return ProjectIndices(r, indices);
+}
+
+Relation ProjectIndices(const Relation& r,
+                        const std::vector<size_t>& indices) {
+  Relation out(r.schema().Project(indices));
+  for (const auto& [t, c] : r.entries()) {
+    out.Insert(t.Project(indices), c);
+  }
+  return out;
+}
+
+Result<Relation> CrossProduct(const Relation& a, const Relation& b) {
+  WVM_ASSIGN_OR_RETURN(Schema schema, a.schema().Concat(b.schema()));
+  Relation out(std::move(schema));
+  for (const auto& [ta, ca] : a.entries()) {
+    for (const auto& [tb, cb] : b.entries()) {
+      out.Insert(ta.Concat(tb), ca * cb);
+    }
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  // Shared attributes, in a's order; b's columns for them; b's non-shared
+  // columns, in b's order.
+  std::vector<size_t> a_shared;
+  std::vector<size_t> b_shared;
+  std::vector<size_t> b_rest;
+  for (size_t j = 0; j < b.schema().size(); ++j) {
+    std::optional<size_t> i = a.schema().IndexOf(b.schema().attribute(j).name);
+    if (i.has_value()) {
+      if (a.schema().attribute(*i).type != b.schema().attribute(j).type) {
+        return Status::InvalidArgument(
+            StrCat("natural join type mismatch on attribute '",
+                   b.schema().attribute(j).name, "'"));
+      }
+      a_shared.push_back(*i);
+      b_shared.push_back(j);
+    } else {
+      b_rest.push_back(j);
+    }
+  }
+
+  std::vector<Attribute> out_attrs = a.schema().attributes();
+  for (size_t j : b_rest) {
+    out_attrs.push_back(b.schema().attribute(j));
+  }
+  Relation out(Schema(std::move(out_attrs)));
+
+  // Hash b on its shared columns.
+  std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHash>
+      b_by_key;
+  for (const auto& [tb, cb] : b.entries()) {
+    b_by_key[tb.Project(b_shared)].emplace_back(tb.Project(b_rest), cb);
+  }
+
+  for (const auto& [ta, ca] : a.entries()) {
+    auto it = b_by_key.find(ta.Project(a_shared));
+    if (it == b_by_key.end()) {
+      continue;
+    }
+    for (const auto& [tb_rest, cb] : it->second) {
+      out.Insert(ta.Concat(tb_rest), ca * cb);
+    }
+  }
+  return out;
+}
+
+}  // namespace wvm

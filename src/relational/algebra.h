@@ -1,0 +1,38 @@
+#ifndef WVM_RELATIONAL_ALGEBRA_H_
+#define WVM_RELATIONAL_ALGEBRA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "relational/predicate.h"
+#include "relational/relation.h"
+
+namespace wvm {
+
+/// Selection: tuples satisfying `cond`, multiplicities preserved. The sign
+/// propagation table of Section 4.1 (sigma keeps the sign) falls out of
+/// multiplicity preservation.
+Result<Relation> Select(const Relation& r, const Predicate& cond);
+
+/// Selection with a pre-bound predicate (no name resolution).
+Relation SelectBound(const Relation& r, const BoundPredicate& cond);
+
+/// Projection onto named attributes; duplicates are retained (bag
+/// projection), so multiplicities of tuples that collapse together add up.
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& attrs);
+
+/// Projection by column index.
+Relation ProjectIndices(const Relation& r, const std::vector<size_t>& indices);
+
+/// Cross product; multiplicities multiply, which is exactly the signed-tuple
+/// product table of Section 4.1.
+Result<Relation> CrossProduct(const Relation& a, const Relation& b);
+
+/// Natural join on all shared attribute names (hash join). Result schema is
+/// a's attributes followed by b's attributes minus the shared ones.
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b);
+
+}  // namespace wvm
+
+#endif  // WVM_RELATIONAL_ALGEBRA_H_

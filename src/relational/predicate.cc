@@ -1,0 +1,323 @@
+#include "relational/predicate.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Operand Operand::Attr(std::string name) {
+  Operand o;
+  o.is_attr_ = true;
+  o.attr_name_ = std::move(name);
+  return o;
+}
+
+Operand Operand::Const(Value v) {
+  Operand o;
+  o.is_attr_ = false;
+  o.constant_ = std::move(v);
+  return o;
+}
+
+std::string Operand::ToString() const {
+  return is_attr_ ? attr_name_ : constant_.ToString();
+}
+
+namespace internal_predicate {
+
+enum class NodeKind { kCompare, kAnd, kOr, kNot };
+
+struct PredNode {
+  NodeKind kind;
+  // kCompare:
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+  // kAnd/kOr/kNot:
+  std::shared_ptr<const PredNode> left;
+  std::shared_ptr<const PredNode> right;  // unused for kNot
+};
+
+struct BoundNode {
+  NodeKind kind;
+  // kCompare: an operand is either a column index or a constant.
+  bool lhs_is_attr = false;
+  size_t lhs_index = 0;
+  Value lhs_const;
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_attr = false;
+  size_t rhs_index = 0;
+  Value rhs_const;
+  // kAnd/kOr/kNot:
+  std::shared_ptr<const BoundNode> left;
+  std::shared_ptr<const BoundNode> right;
+};
+
+}  // namespace internal_predicate
+
+namespace {
+
+using internal_predicate::BoundNode;
+using internal_predicate::NodeKind;
+using internal_predicate::PredNode;
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+// Resolves `op` against `schema`; fills the bound operand slots.
+Status BindOperand(const Operand& op, const Schema& schema, bool* is_attr,
+                   size_t* index, Value* constant, ValueType* type) {
+  if (op.is_attr()) {
+    std::optional<size_t> i = schema.IndexOf(op.attr_name());
+    if (!i.has_value()) {
+      return Status::NotFound(StrCat("attribute '", op.attr_name(),
+                                     "' not in schema ", schema.ToString()));
+    }
+    *is_attr = true;
+    *index = *i;
+    *type = schema.attribute(*i).type;
+  } else {
+    *is_attr = false;
+    *constant = op.constant();
+    *type = op.constant().type();
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const BoundNode>> BindNode(
+    const std::shared_ptr<const PredNode>& n, const Schema& schema) {
+  if (n == nullptr) {
+    return Status::Internal("bind of null predicate node");
+  }
+  auto out = std::make_shared<BoundNode>();
+  out->kind = n->kind;
+  switch (n->kind) {
+    case NodeKind::kCompare: {
+      ValueType lt = ValueType::kInt;
+      ValueType rt = ValueType::kInt;
+      WVM_RETURN_IF_ERROR(BindOperand(n->lhs, schema, &out->lhs_is_attr,
+                                      &out->lhs_index, &out->lhs_const, &lt));
+      WVM_RETURN_IF_ERROR(BindOperand(n->rhs, schema, &out->rhs_is_attr,
+                                      &out->rhs_index, &out->rhs_const, &rt));
+      if (lt != rt) {
+        return Status::InvalidArgument(
+            StrCat("type mismatch in comparison ", n->lhs.ToString(), " ",
+                   CompareOpSymbol(n->op), " ", n->rhs.ToString(), ": ",
+                   ValueTypeName(lt), " vs ", ValueTypeName(rt)));
+      }
+      out->op = n->op;
+      break;
+    }
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      WVM_ASSIGN_OR_RETURN(out->left, BindNode(n->left, schema));
+      WVM_ASSIGN_OR_RETURN(out->right, BindNode(n->right, schema));
+      break;
+    }
+    case NodeKind::kNot: {
+      if (n->left != nullptr) {
+        WVM_ASSIGN_OR_RETURN(out->left, BindNode(n->left, schema));
+      }
+      break;
+    }
+  }
+  return std::shared_ptr<const BoundNode>(std::move(out));
+}
+
+const Value& OperandValue(bool is_attr, size_t index, const Value& constant,
+                          const Tuple& tuple) {
+  return is_attr ? tuple.value(index) : constant;
+}
+
+bool EvalNode(const BoundNode* n, const Tuple& tuple) {
+  switch (n->kind) {
+    case NodeKind::kCompare: {
+      const Value& l =
+          OperandValue(n->lhs_is_attr, n->lhs_index, n->lhs_const, tuple);
+      const Value& r =
+          OperandValue(n->rhs_is_attr, n->rhs_index, n->rhs_const, tuple);
+      return EvalCompare(l, n->op, r);
+    }
+    case NodeKind::kAnd:
+      return EvalNode(n->left.get(), tuple) && EvalNode(n->right.get(), tuple);
+    case NodeKind::kOr:
+      return EvalNode(n->left.get(), tuple) || EvalNode(n->right.get(), tuple);
+    case NodeKind::kNot:
+      // A null child means NOT TRUE, i.e. constant false.
+      return n->left == nullptr ? false : !EvalNode(n->left.get(), tuple);
+  }
+  return false;
+}
+
+void CollectAttrs(const Operand& op, std::vector<std::string>* out) {
+  if (op.is_attr() &&
+      std::find(out->begin(), out->end(), op.attr_name()) == out->end()) {
+    out->push_back(op.attr_name());
+  }
+}
+
+std::string PrintNode(const PredNode* n) {
+  if (n == nullptr) {
+    return "true";
+  }
+  switch (n->kind) {
+    case NodeKind::kCompare:
+      return StrCat(n->lhs.ToString(), " ", CompareOpSymbol(n->op), " ",
+                    n->rhs.ToString());
+    case NodeKind::kAnd:
+      return StrCat("(", PrintNode(n->left.get()), " and ",
+                    PrintNode(n->right.get()), ")");
+    case NodeKind::kOr:
+      return StrCat("(", PrintNode(n->left.get()), " or ",
+                    PrintNode(n->right.get()), ")");
+    case NodeKind::kNot:
+      return StrCat("not (", PrintNode(n->left.get()), ")");
+  }
+  return "?";
+}
+
+}  // namespace
+
+Predicate Predicate::Compare(Operand lhs, CompareOp op, Operand rhs) {
+  auto node = std::make_shared<PredNode>();
+  node->kind = NodeKind::kCompare;
+  node->lhs = std::move(lhs);
+  node->op = op;
+  node->rhs = std::move(rhs);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::And(Predicate a, Predicate b) {
+  if (a.IsTrue()) return b;
+  if (b.IsTrue()) return a;
+  auto node = std::make_shared<PredNode>();
+  node->kind = NodeKind::kAnd;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Or(Predicate a, Predicate b) {
+  if (a.IsTrue() || b.IsTrue()) return True();
+  auto node = std::make_shared<PredNode>();
+  node->kind = NodeKind::kOr;
+  node->left = std::move(a.root_);
+  node->right = std::move(b.root_);
+  return Predicate(std::move(node));
+}
+
+Predicate Predicate::Not(Predicate a) {
+  auto node = std::make_shared<PredNode>();
+  node->kind = NodeKind::kNot;
+  node->left = std::move(a.root_);  // null means NOT TRUE = false
+  return Predicate(std::move(node));
+}
+
+Result<BoundPredicate> Predicate::Bind(const Schema& schema) const {
+  BoundPredicate bound;
+  if (root_ == nullptr) {
+    return bound;  // TRUE
+  }
+  WVM_ASSIGN_OR_RETURN(bound.root_, BindNode(root_, schema));
+  return bound;
+}
+
+bool BoundPredicate::Eval(const Tuple& tuple) const {
+  if (root_ == nullptr) {
+    return true;
+  }
+  return EvalNode(root_.get(), tuple);
+}
+
+std::vector<std::string> Predicate::ReferencedAttributes() const {
+  std::vector<std::string> out;
+  std::vector<const PredNode*> stack;
+  if (root_ != nullptr) {
+    stack.push_back(root_.get());
+  }
+  while (!stack.empty()) {
+    const PredNode* n = stack.back();
+    stack.pop_back();
+    switch (n->kind) {
+      case NodeKind::kCompare:
+        CollectAttrs(n->lhs, &out);
+        CollectAttrs(n->rhs, &out);
+        break;
+      case NodeKind::kAnd:
+      case NodeKind::kOr:
+        stack.push_back(n->left.get());
+        stack.push_back(n->right.get());
+        break;
+      case NodeKind::kNot:
+        if (n->left != nullptr) {
+          stack.push_back(n->left.get());
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<Predicate::ComparisonLeaf> Predicate::AsComparison() const {
+  if (root_ == nullptr || root_->kind != NodeKind::kCompare) {
+    return std::nullopt;
+  }
+  return ComparisonLeaf{root_->lhs, root_->op, root_->rhs};
+}
+
+std::vector<Predicate> Predicate::TopLevelConjuncts() const {
+  std::vector<Predicate> out;
+  std::vector<std::shared_ptr<const PredNode>> stack;
+  if (root_ != nullptr) {
+    stack.push_back(root_);
+  }
+  while (!stack.empty()) {
+    std::shared_ptr<const PredNode> n = std::move(stack.back());
+    stack.pop_back();
+    if (n->kind == NodeKind::kAnd) {
+      stack.push_back(n->right);
+      stack.push_back(n->left);
+    } else {
+      out.push_back(Predicate(n));
+    }
+  }
+  return out;
+}
+
+std::string Predicate::ToString() const { return PrintNode(root_.get()); }
+
+}  // namespace wvm

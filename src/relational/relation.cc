@@ -1,0 +1,181 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace wvm {
+
+std::string SignedTuple::ToString() const {
+  return (sign < 0 ? "-" : "") + tuple.ToString();
+}
+
+Relation Relation::FromTuples(Schema schema,
+                              std::initializer_list<Tuple> tuples) {
+  Relation r(std::move(schema));
+  for (const Tuple& t : tuples) {
+    r.Insert(t);
+  }
+  return r;
+}
+
+Relation Relation::FromTuples(Schema schema, const std::vector<Tuple>& tuples) {
+  Relation r(std::move(schema));
+  for (const Tuple& t : tuples) {
+    r.Insert(t);
+  }
+  return r;
+}
+
+void Relation::Insert(const Tuple& tuple, int64_t count) {
+  if (count == 0) {
+    return;
+  }
+  auto [it, inserted] = counts_.try_emplace(tuple, count);
+  if (!inserted) {
+    it->second += count;
+    if (it->second == 0) {
+      counts_.erase(it);
+    }
+  }
+}
+
+int64_t Relation::CountOf(const Tuple& tuple) const {
+  auto it = counts_.find(tuple);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+int64_t Relation::TotalPositive() const {
+  int64_t total = 0;
+  for (const auto& [t, c] : counts_) {
+    if (c > 0) {
+      total += c;
+    }
+  }
+  return total;
+}
+
+int64_t Relation::TotalAbsolute() const {
+  int64_t total = 0;
+  for (const auto& [t, c] : counts_) {
+    total += std::abs(c);
+  }
+  return total;
+}
+
+bool Relation::HasNegative() const {
+  for (const auto& [t, c] : counts_) {
+    if (c < 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Relation::Add(const Relation& other) {
+  for (const auto& [t, c] : other.counts_) {
+    Insert(t, c);
+  }
+}
+
+Relation Relation::Negated() const {
+  Relation out(schema_);
+  for (const auto& [t, c] : counts_) {
+    out.counts_.emplace(t, -c);
+  }
+  return out;
+}
+
+void Relation::Clear() { counts_.clear(); }
+
+Relation Relation::Positive() const {
+  Relation out(schema_);
+  for (const auto& [t, c] : counts_) {
+    if (c > 0) {
+      out.counts_.emplace(t, c);
+    }
+  }
+  return out;
+}
+
+Relation Relation::NegativePart() const {
+  Relation out(schema_);
+  for (const auto& [t, c] : counts_) {
+    if (c < 0) {
+      out.counts_.emplace(t, -c);
+    }
+  }
+  return out;
+}
+
+int64_t Relation::ByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& [t, c] : counts_) {
+    bytes += std::abs(c) * t.ByteWidth();
+  }
+  return bytes;
+}
+
+std::vector<std::pair<Tuple, int64_t>> Relation::SortedEntries() const {
+  std::vector<std::pair<Tuple, int64_t>> entries(counts_.begin(),
+                                                 counts_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (const auto& [t, c] : counts_) {
+    if (other.CountOf(t) != c) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Relation Relation::operator+(const Relation& other) const {
+  Relation out = *this;
+  out.Add(other);
+  return out;
+}
+
+Relation Relation::operator-(const Relation& other) const {
+  Relation out = *this;
+  out.Add(other.Negated());
+  return out;
+}
+
+std::string Relation::ToString() const {
+  constexpr int64_t kMaxShownCopies = 32;
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  for (const auto& [t, c] : SortedEntries()) {
+    int64_t copies = std::min<int64_t>(std::abs(c), kMaxShownCopies);
+    for (int64_t i = 0; i < copies; ++i) {
+      if (!first) {
+        os << ", ";
+      }
+      first = false;
+      if (c < 0) {
+        os << '-';
+      }
+      os << t;
+    }
+    if (std::abs(c) > kMaxShownCopies) {
+      os << " x" << std::abs(c);
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Relation& r) {
+  return os << r.ToString();
+}
+
+}  // namespace wvm

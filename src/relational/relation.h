@@ -1,0 +1,129 @@
+#ifndef WVM_RELATIONAL_RELATION_H_
+#define WVM_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace wvm {
+
+/// A tuple together with a sign, as used inside query terms (Section 4.1):
+/// +1 for existing/inserted tuples, -1 for deleted tuples.
+struct SignedTuple {
+  Tuple tuple;
+  int sign = +1;
+
+  bool operator==(const SignedTuple& other) const {
+    return sign == other.sign && tuple == other.tuple;
+  }
+
+  std::string ToString() const;
+};
+
+/// A relation with signed duplicate semantics: a mapping tuple -> integer
+/// multiplicity ("Z-relation"). This realizes the paper's signed-tuple
+/// algebra of Section 4.1:
+///
+///   * a tuple with multiplicity +n stands for n plus-signed copies,
+///   * a tuple with multiplicity -n stands for n minus-signed copies,
+///   * `r1 + r2` adds multiplicities pointwise,
+///     i.e. (pos(r1) U pos(r2)) - (neg(r1) U neg(r2)),
+///   * `r1 - r2` is `r1 + (-r2)`,
+///   * cross product multiplies multiplicities, which reproduces the sign
+///     product table (+*+ = +, +*- = -, -*- = +).
+///
+/// Multiplicities may be negative in transit (answers to signed queries);
+/// a materialized view in a consistent state has all-positive multiplicities.
+/// Duplicate retention is required for incremental deletes (Section 1.1), and
+/// the group structure of + (rather than set/monus semantics) is what makes
+/// the compensation identity of Lemma B.2 hold.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Relation with the given schema holding each listed tuple once.
+  static Relation FromTuples(Schema schema,
+                             std::initializer_list<Tuple> tuples);
+  static Relation FromTuples(Schema schema, const std::vector<Tuple>& tuples);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Adds `count` copies of `tuple` (negative count = minus-signed copies).
+  /// Entries whose multiplicity reaches zero are removed.
+  void Insert(const Tuple& tuple, int64_t count = 1);
+
+  /// Multiplicity of `tuple` (0 if absent).
+  int64_t CountOf(const Tuple& tuple) const;
+
+  /// Number of distinct tuples with non-zero multiplicity.
+  size_t NumDistinct() const { return counts_.size(); }
+
+  /// Sum of positive multiplicities (the paper's tuple count for a relation
+  /// in a valid state).
+  int64_t TotalPositive() const;
+
+  /// Sum of |multiplicity| over all tuples; the "size" of a signed answer.
+  int64_t TotalAbsolute() const;
+
+  bool IsEmpty() const { return counts_.empty(); }
+
+  /// True if any tuple has negative multiplicity.
+  bool HasNegative() const;
+
+  /// Pointwise multiplicity addition (the paper's binary + on relations).
+  void Add(const Relation& other);
+
+  /// Negates every multiplicity (unary minus on signed relations).
+  Relation Negated() const;
+
+  /// Removes all tuples.
+  void Clear();
+
+  /// Restriction to tuples with positive multiplicity, kept at their counts.
+  Relation Positive() const;
+  /// Tuples with negative multiplicity, with counts negated to be positive.
+  Relation NegativePart() const;
+
+  /// Nominal bytes to ship this relation: sum over tuples of
+  /// |multiplicity| * tuple byte width. Matches B of Section 6.2 when the
+  /// schema is the projected (W,Z) pair.
+  int64_t ByteSize() const;
+
+  /// Multiplicity-preserving deterministic snapshot, sorted by tuple.
+  std::vector<std::pair<Tuple, int64_t>> SortedEntries() const;
+
+  const std::unordered_map<Tuple, int64_t, TupleHash>& entries() const {
+    return counts_;
+  }
+
+  /// Equal iff same multiplicity for every tuple (schemas must agree in
+  /// width; attribute names are not compared so that a projected answer can
+  /// be compared against a view).
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  Relation operator+(const Relation& other) const;
+  Relation operator-(const Relation& other) const;
+
+  /// Paper-style rendering, e.g. "([1], [4], [4])" with multiplicities
+  /// expanded (capped for very large relations) and minus signs shown.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::unordered_map<Tuple, int64_t, TupleHash> counts_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Relation& r);
+
+}  // namespace wvm
+
+#endif  // WVM_RELATIONAL_RELATION_H_

@@ -1,0 +1,96 @@
+#include "relational/schema.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+Schema Schema::Ints(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const std::string& n : names) {
+    attrs.push_back(Attribute{n, ValueType::kInt, /*is_key=*/false});
+  }
+  return Schema(std::move(attrs));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<size_t>> Schema::IndicesOf(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    std::optional<size_t> i = IndexOf(n);
+    if (!i.has_value()) {
+      return Status::NotFound(
+          StrCat("attribute '", n, "' not in schema ", ToString()));
+    }
+    out.push_back(*i);
+  }
+  return out;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  for (size_t i : indices) {
+    attrs.push_back(attributes_[i]);
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<Schema> Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> attrs = attributes_;
+  for (const Attribute& a : other.attributes_) {
+    if (IndexOf(a.name).has_value()) {
+      return Status::InvalidArgument(
+          StrCat("duplicate attribute '", a.name, "' in schema concat"));
+    }
+    attrs.push_back(a);
+  }
+  return Schema(std::move(attrs));
+}
+
+std::vector<std::string> Schema::KeyAttributeNames() const {
+  std::vector<std::string> out;
+  for (const Attribute& a : attributes_) {
+    if (a.is_key) {
+      out.push_back(a.name);
+    }
+  }
+  return out;
+}
+
+int Schema::ByteWidth() const {
+  int width = 0;
+  for (const Attribute& a : attributes_) {
+    width += ValueTypeWidth(a.type);
+  }
+  return width;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) {
+    parts.push_back(StrCat(a.name, ":", ValueTypeName(a.type),
+                           a.is_key ? "(key)" : ""));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+std::ostream& operator<<(std::ostream& os, const Schema& s) {
+  return os << s.ToString();
+}
+
+}  // namespace wvm

@@ -1,0 +1,80 @@
+#ifndef WVM_RELATIONAL_SCHEMA_H_
+#define WVM_RELATIONAL_SCHEMA_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace wvm {
+
+/// One named, typed column. `is_key` marks attributes that are a key of the
+/// base relation they come from; the ECA-Key algorithm (Section 5.4) is only
+/// applicable when the view retains a key attribute of every base relation.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool is_key = false;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type && is_key == other.is_key;
+  }
+};
+
+/// An ordered list of attributes describing the columns of a relation. The
+/// paper works with distinct base relations r1..rn whose attribute names are
+/// globally unique within a view (its examples use W, X, Y, Z), so name
+/// lookup is unambiguous after concatenation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  /// Convenience: all-int schema from names, e.g. Schema::Ints({"W","X"}).
+  static Schema Ints(const std::vector<std::string>& names);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute called `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Indices of `names` in order; error if any is missing.
+  Result<std::vector<size_t>> IndicesOf(
+      const std::vector<std::string>& names) const;
+
+  /// Schema of the projection onto `indices`.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// Concatenation (for cross products). Duplicate names are an error: the
+  /// paper assumes distinct relations with disjoint attribute names.
+  Result<Schema> Concat(const Schema& other) const;
+
+  /// Names of attributes flagged as keys.
+  std::vector<std::string> KeyAttributeNames() const;
+
+  /// Sum of fixed byte widths of all attributes (`S` in Table 1 when applied
+  /// to the projected schema).
+  int ByteWidth() const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Schema& s);
+
+}  // namespace wvm
+
+#endif  // WVM_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,65 @@
+#include "relational/tuple.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace wvm {
+
+Tuple Tuple::Ints(std::initializer_list<int64_t> ints) {
+  std::vector<Value> values;
+  values.reserve(ints.size());
+  for (int64_t v : ints) {
+    values.push_back(Value(v));
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> values;
+  values.reserve(indices.size());
+  for (size_t i : indices) {
+    values.push_back(values_[i]);
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> values = values_;
+  values.insert(values.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(values));
+}
+
+int Tuple::ByteWidth() const {
+  int width = 0;
+  for (const Value& v : values_) {
+    width += v.ByteWidth();
+  }
+  return width;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  os << '[';
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << t.value(i);
+  }
+  return os << ']';
+}
+
+}  // namespace wvm

@@ -1,0 +1,61 @@
+#ifndef WVM_RELATIONAL_TUPLE_H_
+#define WVM_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace wvm {
+
+/// A row: an ordered list of values. The tuple itself is unsigned; the sign
+/// (+ existing/inserted, - deleted) of the paper's signed-tuple algebra lives
+/// in the multiplicity a Relation associates with the tuple, and in the
+/// explicit `sign` of a bound tuple inside a query term.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  /// Convenience for the paper's all-integer examples: Tuple::Ints({1, 2}).
+  static Tuple Ints(std::initializer_list<int64_t> ints);
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Projection onto `indices` (may repeat/reorder).
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// Concatenation (for cross products).
+  Tuple Concat(const Tuple& other) const;
+
+  /// Nominal byte width on the wire.
+  int ByteWidth() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  /// Lexicographic order, for canonical printing.
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  size_t Hash() const;
+
+  /// Paper-style rendering: [1,2].
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace wvm
+
+#endif  // WVM_RELATIONAL_TUPLE_H_

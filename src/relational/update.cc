@@ -1,0 +1,24 @@
+#include "relational/update.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+std::string Update::ToString() const {
+  return StrCat(kind == UpdateKind::kInsert ? "insert" : "delete", "(",
+                relation, ",", tuple.ToString(), ")");
+}
+
+std::ostream& operator<<(std::ostream& os, const Update& u) {
+  return os << u.ToString();
+}
+
+std::vector<Update> ModifyAsDeleteInsert(const std::string& relation,
+                                         Tuple old_tuple, Tuple new_tuple) {
+  return {Update::Delete(relation, std::move(old_tuple)),
+          Update::Insert(relation, std::move(new_tuple))};
+}
+
+}  // namespace wvm

@@ -1,0 +1,55 @@
+#ifndef WVM_RELATIONAL_UPDATE_H_
+#define WVM_RELATIONAL_UPDATE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace wvm {
+
+/// Kind of a base-relation update. Modifications are modelled as a delete
+/// followed by an insert, as the paper prescribes (Section 4.1).
+enum class UpdateKind { kInsert, kDelete };
+
+/// A single-tuple update to a named base relation, exactly the information a
+/// legacy source ships in its update notification: insert(r, t) or
+/// delete(r, t). `id` is assigned in execution order by the source (U_1,
+/// U_2, ... in the paper) and is what compensation bookkeeping keys on.
+struct Update {
+  UpdateKind kind = UpdateKind::kInsert;
+  std::string relation;
+  Tuple tuple;
+  uint64_t id = 0;
+
+  static Update Insert(std::string relation, Tuple tuple) {
+    return Update{UpdateKind::kInsert, std::move(relation), std::move(tuple),
+                  0};
+  }
+  static Update Delete(std::string relation, Tuple tuple) {
+    return Update{UpdateKind::kDelete, std::move(relation), std::move(tuple),
+                  0};
+  }
+
+  /// Sign of the updated tuple: +1 for an insert, -1 for a delete.
+  int sign() const { return kind == UpdateKind::kInsert ? +1 : -1; }
+
+  /// Paper-style rendering, e.g. "insert(r2,[2,3])".
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Update& u);
+
+/// A modification expressed the way the paper prescribes (Section 4.1):
+/// a deletion of the old tuple followed by an insertion of the new one.
+/// Execute the pair as one atomic source batch
+/// (Simulation::SetUpdateScriptBatches) so the warehouse receives a single
+/// notification and no interleaving can observe the half-modified state.
+std::vector<Update> ModifyAsDeleteInsert(const std::string& relation,
+                                         Tuple old_tuple, Tuple new_tuple);
+
+}  // namespace wvm
+
+#endif  // WVM_RELATIONAL_UPDATE_H_

@@ -1,0 +1,70 @@
+#include "relational/value.h"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace wvm {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int ValueTypeWidth(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return 4;
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 0;  // charged per character at evaluation time
+  }
+  return 0;
+}
+
+int Value::ByteWidth() const {
+  if (type() == ValueType::kString) {
+    return static_cast<int>(AsString().size());
+  }
+  return ValueTypeWidth(type());
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return os << v.AsInt();
+    case ValueType::kDouble:
+      return os << v.AsDouble();
+    case ValueType::kString:
+      return os << '"' << v.AsString() << '"';
+  }
+  return os;
+}
+
+}  // namespace wvm

@@ -1,0 +1,58 @@
+#ifndef WVM_SCRIPT_SCENARIO_PARSER_H_
+#define WVM_SCRIPT_SCENARIO_PARSER_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/factory.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// A complete warehouse scenario parsed from the plain-text format below —
+/// everything needed to run one maintenance experiment without writing
+/// C++. Used by examples/scenario_runner and the test suite.
+///
+///   # comments and blank lines are ignored
+///   relation r1 W:int:key X:int        # declare a base relation
+///   relation r2 X:int Y:int
+///   tuple r1 1 2                       # initial data
+///   tuple r2 2 4
+///   view V project W Y where W > 3 and Y != 9
+///                                      # natural join over ALL relations;
+///                                      # `where` is optional
+///   algorithm eca                      # any AlgorithmName(); default eca
+///   replicate r2 r3                    # ECA with warehouse replicas of
+///                                      # these relations (eca-sc)
+///   rv-period 3                        # RV's s (optional)
+///   order worst                        # best | worst | random <seed>
+///   update insert r2 2 3               # one update per notification
+///   update delete r1 1 2
+///   batch insert r1 5 5 | delete r1 5 5   # one atomic multi-update batch
+///   expect-final [1,4] [3,4]           # optional assertion on the view
+struct ScenarioSpec {
+  std::vector<BaseRelationDef> defs;
+  Catalog initial;
+  ViewDefinitionPtr view;
+  Algorithm algorithm = Algorithm::kEca;
+  /// Non-empty: run EcaSc with these relations replicated (requires the
+  /// default eca algorithm).
+  std::set<std::string> replicated;
+  int rv_period = 1;
+  enum class Order { kBest, kWorst, kRandom } order = Order::kBest;
+  uint64_t seed = 1;
+  std::vector<std::vector<Update>> batches;
+  std::optional<Relation> expected_final;
+};
+
+/// Parses the scenario text; errors carry 1-based line numbers.
+Result<ScenarioSpec> ParseScenario(const std::string& text);
+
+}  // namespace wvm
+
+#endif  // WVM_SCRIPT_SCENARIO_PARSER_H_

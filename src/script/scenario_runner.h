@@ -1,0 +1,30 @@
+#ifndef WVM_SCRIPT_SCENARIO_RUNNER_H_
+#define WVM_SCRIPT_SCENARIO_RUNNER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "consistency/checker.h"
+#include "script/scenario_parser.h"
+
+namespace wvm {
+
+/// Outcome of one scenario execution.
+struct ScenarioOutcome {
+  Relation final_view;
+  Relation source_view;
+  ConsistencyReport consistency;
+  std::string trace;
+  std::string cost;
+  /// Set when the scenario declared expect-final: did the view match?
+  std::optional<bool> expectation_met;
+};
+
+/// Builds the simulated system from `spec`, runs it to quiescence under
+/// the declared interleaving, and reports the outcome.
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
+                                    bool record_trace = true);
+
+}  // namespace wvm
+
+#endif  // WVM_SCRIPT_SCENARIO_RUNNER_H_

@@ -1,0 +1,70 @@
+#include "sim/policies.h"
+
+namespace wvm {
+
+SimAction BestCasePolicy::Next(const Simulation& sim) {
+  if (sim.CanWarehouseStep()) {
+    return SimAction::kWarehouseStep;
+  }
+  if (sim.CanSourceAnswer()) {
+    return SimAction::kSourceAnswer;
+  }
+  if (sim.CanSourceUpdate()) {
+    return SimAction::kSourceUpdate;
+  }
+  return SimAction::kNone;
+}
+
+SimAction WorstCasePolicy::Next(const Simulation& sim) {
+  if (sim.CanSourceUpdate()) {
+    return SimAction::kSourceUpdate;
+  }
+  if (sim.CanWarehouseStep()) {
+    return SimAction::kWarehouseStep;
+  }
+  if (sim.CanSourceAnswer()) {
+    return SimAction::kSourceAnswer;
+  }
+  return SimAction::kNone;
+}
+
+SimAction RandomPolicy::Next(const Simulation& sim) {
+  SimAction enabled[3];
+  size_t n = 0;
+  if (sim.CanSourceUpdate()) {
+    enabled[n++] = SimAction::kSourceUpdate;
+  }
+  if (sim.CanSourceAnswer()) {
+    enabled[n++] = SimAction::kSourceAnswer;
+  }
+  if (sim.CanWarehouseStep()) {
+    enabled[n++] = SimAction::kWarehouseStep;
+  }
+  if (n == 0) {
+    return SimAction::kNone;
+  }
+  return enabled[rng_.Uniform(n)];
+}
+
+SimAction ScriptedPolicy::Next(const Simulation& sim) {
+  if (cursor_ < actions_.size()) {
+    return actions_[cursor_++];
+  }
+  return fallback_.Next(sim);
+}
+
+Status RunToQuiescence(Simulation* sim, Policy* policy) {
+  while (true) {
+    SimAction action = policy->Next(*sim);
+    if (action == SimAction::kNone) {
+      if (!sim->Quiescent()) {
+        return Status::Internal(
+            "policy returned kNone but the system is not quiescent");
+      }
+      return Status::OK();
+    }
+    WVM_RETURN_IF_ERROR(sim->Step(action));
+  }
+}
+
+}  // namespace wvm

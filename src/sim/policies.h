@@ -1,0 +1,71 @@
+#ifndef WVM_SIM_POLICIES_H_
+#define WVM_SIM_POLICIES_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "sim/simulation.h"
+
+namespace wvm {
+
+/// Chooses the next atomic event among those currently enabled. The policy
+/// is the adversary (or friend) that produces the interleavings the paper's
+/// best/worst cases and anomaly examples are defined by.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual SimAction Next(const Simulation& sim) = 0;
+};
+
+/// The paper's low-update-frequency regime: "the answer to a warehouse
+/// query comes back before the next update occurs at the source". Priority:
+/// warehouse processing, then query answering, then the next update — so
+/// each update's full round trip completes before the next update runs.
+/// ECA behaves exactly like the basic incremental algorithm here (property
+/// 3 of Section 5.6), and ECA/RV hit their per-update best cases.
+class BestCasePolicy : public Policy {
+ public:
+  SimAction Next(const Simulation& sim) override;
+};
+
+/// The paper's adversarial regime: "all updates occur at the source before
+/// the first query arrives", and all queries are sent before any answer is
+/// produced — so every warehouse query must compensate every preceding
+/// update. Priority: updates, then warehouse processing, then answers.
+class WorstCasePolicy : public Policy {
+ public:
+  SimAction Next(const Simulation& sim) override;
+};
+
+/// Uniformly random choice among the enabled actions; seeded and
+/// reproducible. The consistency property tests sweep seeds with this.
+class RandomPolicy : public Policy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+  SimAction Next(const Simulation& sim) override;
+
+ private:
+  Random rng_;
+};
+
+/// Replays an explicit action sequence (for reproducing the paper's
+/// numbered examples step by step), then falls back to BestCase drain.
+class ScriptedPolicy : public Policy {
+ public:
+  explicit ScriptedPolicy(std::vector<SimAction> actions)
+      : actions_(std::move(actions)) {}
+  SimAction Next(const Simulation& sim) override;
+
+ private:
+  std::vector<SimAction> actions_;
+  size_t cursor_ = 0;
+  BestCasePolicy fallback_;
+};
+
+/// Runs `sim` to quiescence under `policy`.
+Status RunToQuiescence(Simulation* sim, Policy* policy);
+
+}  // namespace wvm
+
+#endif  // WVM_SIM_POLICIES_H_

@@ -1,0 +1,186 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "query/evaluator.h"
+
+namespace wvm {
+
+Result<std::unique_ptr<Simulation>> Simulation::Create(
+    const Catalog& initial, ViewDefinitionPtr view,
+    std::unique_ptr<ViewMaintainer> maintainer,
+    const SimulationOptions& options) {
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  auto sim = std::unique_ptr<Simulation>(new Simulation(view, options));
+  WVM_ASSIGN_OR_RETURN(
+      Source source, Source::Create(initial, options.physical,
+                                    options.indexes));
+  sim->source_ = std::make_unique<Source>(std::move(source));
+  sim->warehouse_ = std::make_unique<Warehouse>(
+      std::move(maintainer), &sim->to_source_, &sim->meter_);
+  if (options.record_states) {
+    // Snapshot intermediate view states (e.g. LCA applying several deltas
+    // within one event); consecutive duplicates are deduplicated by the
+    // checker.
+    Simulation* raw = sim.get();
+    sim->warehouse_->SetViewObserver([raw] { raw->RecordWarehouseState(); });
+  }
+  WVM_RETURN_IF_ERROR(sim->warehouse_->Initialize(initial));
+
+  if (options.record_states) {
+    // ss_0 and ws_0: the paper assumes V[ws_0] = V[ss_0].
+    WVM_RETURN_IF_ERROR(sim->RecordSourceState());
+    sim->RecordWarehouseState();
+  }
+  return sim;
+}
+
+void Simulation::SetUpdateScript(std::vector<Update> script) {
+  script_.clear();
+  cursor_ = 0;
+  for (size_t i = 0; i < script.size(); i += options_.batch_size) {
+    std::vector<Update> batch;
+    for (size_t j = i;
+         j < std::min(script.size(), i + options_.batch_size); ++j) {
+      batch.push_back(std::move(script[j]));
+    }
+    script_.push_back(std::move(batch));
+  }
+}
+
+void Simulation::SetUpdateScriptBatches(
+    std::vector<std::vector<Update>> batches) {
+  script_ = std::move(batches);
+  cursor_ = 0;
+}
+
+size_t Simulation::updates_remaining() const {
+  size_t remaining = 0;
+  for (size_t i = cursor_; i < script_.size(); ++i) {
+    remaining += script_[i].size();
+  }
+  return remaining;
+}
+
+bool Simulation::CanSourceUpdate() const { return cursor_ < script_.size(); }
+bool Simulation::CanSourceAnswer() const { return to_source_.HasMessage(); }
+bool Simulation::CanWarehouseStep() const {
+  return to_warehouse_.HasMessage();
+}
+bool Simulation::Quiescent() const {
+  return !CanSourceUpdate() && !CanSourceAnswer() && !CanWarehouseStep();
+}
+
+Status Simulation::RecordSourceState() {
+  WVM_ASSIGN_OR_RETURN(Relation v, SourceViewNow());
+  state_log_.RecordSourceState(std::move(v), event_seq_);
+  return Status::OK();
+}
+
+void Simulation::RecordWarehouseState() {
+  state_log_.RecordWarehouseState(warehouse_->maintainer().view_contents(),
+                                  event_seq_);
+}
+
+Status Simulation::StepSourceUpdate() {
+  if (!CanSourceUpdate()) {
+    return Status::FailedPrecondition("no scripted updates left");
+  }
+  ++event_seq_;
+  // Execute the next batch (usually of size 1) as one atomic source event,
+  // then ship one notification.
+  std::vector<Update> batch = script_[cursor_++];
+  for (Update& u : batch) {
+    u.id = next_update_id_++;
+    WVM_RETURN_IF_ERROR(source_->ExecuteUpdate(u));
+  }
+  if (options_.record_trace) {
+    std::vector<std::string> parts;
+    for (const Update& u : batch) {
+      parts.push_back(u.ToString());
+    }
+    trace_.Add(TraceEvent::Kind::kSourceUpdate,
+               StrCat("source executes ", Join(parts, "; "),
+                      " and notifies the warehouse"));
+  }
+  meter_.RecordNotification();
+  if (batch.size() == 1) {
+    to_warehouse_.Send(UpdateNotification{std::move(batch.front())});
+  } else {
+    to_warehouse_.Send(BatchNotification{std::move(batch)});
+  }
+  if (options_.record_states) {
+    WVM_RETURN_IF_ERROR(RecordSourceState());
+  }
+  return Status::OK();
+}
+
+Status Simulation::StepSourceAnswer() {
+  if (!CanSourceAnswer()) {
+    return Status::FailedPrecondition("no pending queries at the source");
+  }
+  ++event_seq_;
+  QueryMessage qm = to_source_.Receive();
+  WVM_ASSIGN_OR_RETURN(AnswerMessage answer,
+                       source_->EvaluateQuery(qm.query));
+  if (options_.record_trace) {
+    trace_.Add(TraceEvent::Kind::kSourceQueryEval,
+               StrCat("source evaluates ", qm.query.ToString(),
+                      " -> ", answer.Sum().ToString()));
+  }
+  meter_.RecordAnswer(answer);
+  to_warehouse_.Send(std::move(answer));
+  return Status::OK();
+}
+
+Status Simulation::StepWarehouse() {
+  if (!CanWarehouseStep()) {
+    return Status::FailedPrecondition("no messages for the warehouse");
+  }
+  ++event_seq_;
+  SourceMessage m = to_warehouse_.Receive();
+  if (options_.record_trace) {
+    const bool is_answer = std::holds_alternative<AnswerMessage>(m);
+    trace_.Add(is_answer ? TraceEvent::Kind::kWarehouseAnswer
+                         : TraceEvent::Kind::kWarehouseUpdate,
+               StrCat("warehouse receives ", SourceMessageToString(m)));
+  }
+  WVM_RETURN_IF_ERROR(warehouse_->HandleMessage(m));
+  if (options_.record_trace) {
+    trace_.Add(std::holds_alternative<AnswerMessage>(m)
+                   ? TraceEvent::Kind::kWarehouseAnswer
+                   : TraceEvent::Kind::kWarehouseUpdate,
+               StrCat("warehouse view is now ",
+                      warehouse_->maintainer().view_contents().ToString()));
+  }
+  if (options_.record_states) {
+    RecordWarehouseState();
+  }
+  return Status::OK();
+}
+
+Status Simulation::Step(SimAction action) {
+  switch (action) {
+    case SimAction::kSourceUpdate:
+      return StepSourceUpdate();
+    case SimAction::kSourceAnswer:
+      return StepSourceAnswer();
+    case SimAction::kWarehouseStep:
+      return StepWarehouse();
+    case SimAction::kNone:
+      return Status::FailedPrecondition("no action enabled");
+  }
+  return Status::Internal("unknown action");
+}
+
+Result<Relation> Simulation::SourceViewNow() const {
+  if (options_.view_evaluator) {
+    return options_.view_evaluator(source_->catalog());
+  }
+  return EvaluateView(view_, source_->catalog());
+}
+
+}  // namespace wvm

@@ -1,0 +1,138 @@
+#ifndef WVM_SIM_SIMULATION_H_
+#define WVM_SIM_SIMULATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.h"
+#include "channel/cost_meter.h"
+#include "channel/message.h"
+#include "common/result.h"
+#include "consistency/state_log.h"
+#include "core/warehouse.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+#include "sim/trace.h"
+#include "source/source.h"
+
+namespace wvm {
+
+/// The three things that can happen next in an execution. Every action is
+/// one atomic event (Section 3); the interleaving policy chooses among the
+/// currently enabled actions, which is exactly the nondeterminism the
+/// paper's anomalies live in.
+enum class SimAction {
+  kSourceUpdate,    // S_up: execute the next scripted update (or batch)
+  kSourceAnswer,    // S_qu: evaluate the oldest pending query
+  kWarehouseStep,   // W_up / W_ans: consume the next source message
+  kNone,            // nothing enabled: quiescent
+};
+
+struct SimulationOptions {
+  PhysicalConfig physical;
+  /// Indexes to declare at the source (Scenario 1 only).
+  std::vector<IndexSpec> indexes;
+  /// Fixed bytes charged per answer tuple (S of Table 1); negative derives
+  /// actual widths from the schema.
+  int64_t bytes_per_tuple = -1;
+  /// Updates per notification; > 1 enables the Section 7 batching
+  /// extension (one atomic source event and one notification per batch).
+  int batch_size = 1;
+  /// Record V[ss_i] / V[ws_j] sequences for the consistency checker.
+  bool record_states = true;
+  /// Record a readable per-event trace (examples; off for benchmarks).
+  bool record_trace = false;
+  /// How to evaluate the view over a source catalog when recording
+  /// V[ss_i] states and answering SourceViewNow(). Defaults to evaluating
+  /// the single ViewDefinition; composite (union/difference) views install
+  /// their own evaluator here.
+  std::function<Result<Relation>(const Catalog&)> view_evaluator;
+};
+
+/// Owns one complete single-source / single-warehouse system: the source
+/// (logical + physical state), the two FIFO channels, the warehouse running
+/// one maintenance algorithm, the metering, and the state log. Exposes the
+/// enabled-action interface that interleaving policies drive.
+class Simulation {
+ public:
+  static Result<std::unique_ptr<Simulation>> Create(
+      const Catalog& initial, ViewDefinitionPtr view,
+      std::unique_ptr<ViewMaintainer> maintainer,
+      const SimulationOptions& options);
+
+  /// Sets the updates the source will execute, in order, grouped into
+  /// batches of SimulationOptions::batch_size. Ids are assigned at
+  /// execution time (source execution order defines U_1, U_2, ...).
+  void SetUpdateScript(std::vector<Update> script);
+
+  /// Sets explicitly grouped batches: each inner vector is executed as one
+  /// atomic source event with one notification (used for modifications —
+  /// delete+insert pairs — and irregular batching).
+  void SetUpdateScriptBatches(std::vector<std::vector<Update>> batches);
+
+  bool CanSourceUpdate() const;
+  bool CanSourceAnswer() const;
+  bool CanWarehouseStep() const;
+  bool Quiescent() const;
+
+  Status StepSourceUpdate();
+  Status StepSourceAnswer();
+  Status StepWarehouse();
+
+  /// Performs `action`; kNone is an error.
+  Status Step(SimAction action);
+
+  /// Drains every enabled action FIFO-fashion with the given priority
+  /// order helper; used by RunPolicy and the policies header.
+  const Catalog& source_catalog() const { return source_->catalog(); }
+  const Relation& warehouse_view() const {
+    return warehouse_->maintainer().view_contents();
+  }
+  const ViewMaintainer& maintainer() const {
+    return warehouse_->maintainer();
+  }
+  ViewMaintainer& mutable_maintainer() { return warehouse_->maintainer(); }
+  /// The warehouse as a context, for driving maintainer-side operations
+  /// that the paper models as extra warehouse events (e.g. a deferred
+  /// flush triggered by a reader's query against the view).
+  WarehouseContext* warehouse_context() { return warehouse_.get(); }
+  const ViewDefinitionPtr& view() const { return view_; }
+  const CostMeter& meter() const { return meter_; }
+  const IOStats& io_stats() const { return source_->io_stats(); }
+  const StateLog& state_log() const { return state_log_; }
+  const Trace& trace() const { return trace_; }
+  size_t updates_remaining() const;
+  uint64_t updates_executed() const { return next_update_id_ - 1; }
+
+  /// The view evaluated directly at the source right now (V[current ss]).
+  Result<Relation> SourceViewNow() const;
+
+ private:
+  Simulation(ViewDefinitionPtr view, const SimulationOptions& options)
+      : view_(std::move(view)),
+        options_(options),
+        meter_(options.bytes_per_tuple) {}
+
+  Status RecordSourceState();
+  void RecordWarehouseState();
+
+  ViewDefinitionPtr view_;
+  SimulationOptions options_;
+  CostMeter meter_;
+  std::unique_ptr<Source> source_;
+  std::unique_ptr<Warehouse> warehouse_;
+  Channel<SourceMessage> to_warehouse_;
+  Channel<QueryMessage> to_source_;
+  StateLog state_log_;
+  Trace trace_;
+  std::vector<std::vector<Update>> script_;  // one entry per atomic batch
+  size_t cursor_ = 0;
+  uint64_t next_update_id_ = 1;
+  uint64_t event_seq_ = 0;  // logical clock across all sites
+};
+
+}  // namespace wvm
+
+#endif  // WVM_SIM_SIMULATION_H_

@@ -1,0 +1,42 @@
+#ifndef WVM_SIM_THREADED_RUNNER_H_
+#define WVM_SIM_THREADED_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/factory.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+#include "relational/update.h"
+
+namespace wvm {
+
+/// Outcome of a threaded execution.
+struct ThreadedRunReport {
+  Relation final_view;
+  Relation source_view;
+  bool converged = false;
+  int64_t messages = 0;
+};
+
+/// Runs the source and the warehouse on two real OS threads, connected by
+/// mutex-protected FIFO channels, with the interleaving decided by the
+/// scheduler (plus a seeded coin at the source choosing between executing
+/// the next update and answering a pending query).
+///
+/// The deterministic Simulation realizes the paper's model by construction;
+/// this runner validates the same code under genuine concurrency: each
+/// site's event handler runs under that site's lock — exactly the "local
+/// concurrency control mechanism ... so that conflicting operations do not
+/// overlap" the paper assumes in Section 3 — and the algorithm's
+/// convergence must survive whatever interleaving the machine produces.
+Result<ThreadedRunReport> RunThreaded(const Catalog& initial,
+                                      ViewDefinitionPtr view,
+                                      Algorithm algorithm,
+                                      std::vector<Update> updates,
+                                      uint64_t seed);
+
+}  // namespace wvm
+
+#endif  // WVM_SIM_THREADED_RUNNER_H_

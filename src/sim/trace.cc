@@ -1,0 +1,30 @@
+#include "sim/trace.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+const char* TraceEvent::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kSourceUpdate:
+      return "S_up ";
+    case Kind::kSourceQueryEval:
+      return "S_qu ";
+    case Kind::kWarehouseUpdate:
+      return "W_up ";
+    case Kind::kWarehouseAnswer:
+      return "W_ans";
+  }
+  return "?";
+}
+
+std::string Trace::ToString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += StrCat(e.sequence, ". [", TraceEvent::KindName(e.kind), "] ",
+                  e.description, "\n");
+  }
+  return out;
+}
+
+}  // namespace wvm

@@ -1,0 +1,47 @@
+#ifndef WVM_SIM_TRACE_H_
+#define WVM_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wvm {
+
+/// One atomic event in an execution, mirroring the event vocabulary of
+/// Section 3: S_up, S_qu at the source; W_up, W_ans at the warehouse.
+struct TraceEvent {
+  enum class Kind {
+    kSourceUpdate,     // S_up
+    kSourceQueryEval,  // S_qu
+    kWarehouseUpdate,  // W_up (or a batch W_up)
+    kWarehouseAnswer,  // W_ans
+  };
+
+  Kind kind;
+  uint64_t sequence = 0;
+  std::string description;
+
+  static const char* KindName(Kind kind);
+};
+
+/// Chronological, human-readable record of an execution; printed by the
+/// example programs to narrate the paper's scenarios event by event.
+class Trace {
+ public:
+  void Add(TraceEvent::Kind kind, std::string description) {
+    events_.push_back(TraceEvent{kind, next_sequence_++,
+                                 std::move(description)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_SIM_TRACE_H_

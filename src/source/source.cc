@@ -1,0 +1,66 @@
+#include "source/source.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+Result<Source> Source::Create(const Catalog& initial,
+                              const PhysicalConfig& config,
+                              const std::vector<IndexSpec>& indexes) {
+  if (config.scenario == PhysicalScenario::kNestedLoopLimited &&
+      !indexes.empty()) {
+    return Status::InvalidArgument(
+        "Scenario 2 assumes there are no indexes (Section 6.3)");
+  }
+  Source source(initial.Clone(), config);
+
+  for (const std::string& name : initial.Names()) {
+    WVM_ASSIGN_OR_RETURN(Schema schema, initial.GetSchema(name));
+    StoredRelation stored(BaseRelationDef{name, std::move(schema)},
+                          config.tuples_per_block);
+    source.storage_.emplace(name, std::move(stored));
+  }
+  // Declare indexes before loading so clustered order is maintained.
+  for (const IndexSpec& spec : indexes) {
+    auto it = source.storage_.find(spec.relation);
+    if (it == source.storage_.end()) {
+      return Status::NotFound(
+          StrCat("index on unknown relation '", spec.relation, "'"));
+    }
+    WVM_RETURN_IF_ERROR(it->second.AddIndex(spec.attribute, spec.clustered));
+  }
+  // Load initial data (bag semantics: one physical row per multiplicity).
+  for (const std::string& name : initial.Names()) {
+    WVM_ASSIGN_OR_RETURN(const Relation* data, initial.Get(name));
+    if (data->HasNegative()) {
+      return Status::InvalidArgument(
+          StrCat("initial relation '", name, "' has negative multiplicity"));
+    }
+    StoredRelation& stored = source.storage_.at(name);
+    for (const auto& [t, c] : data->SortedEntries()) {
+      for (int64_t i = 0; i < c; ++i) {
+        WVM_RETURN_IF_ERROR(stored.Insert(t));
+      }
+    }
+  }
+  return source;
+}
+
+Status Source::ExecuteUpdate(const Update& u) {
+  WVM_RETURN_IF_ERROR(catalog_.Apply(u));
+  auto it = storage_.find(u.relation);
+  if (it == storage_.end()) {
+    return Status::NotFound(
+        StrCat("update to unknown relation '", u.relation, "'"));
+  }
+  if (u.kind == UpdateKind::kInsert) {
+    return it->second.Insert(u.tuple);
+  }
+  return it->second.Delete(u.tuple);
+}
+
+Result<AnswerMessage> Source::EvaluateQuery(const Query& q) {
+  return EvaluateQueryPhysical(q, storage_, config_, &io_stats_);
+}
+
+}  // namespace wvm

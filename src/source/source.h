@@ -1,0 +1,66 @@
+#ifndef WVM_SOURCE_SOURCE_H_
+#define WVM_SOURCE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "channel/message.h"
+#include "common/result.h"
+#include "query/catalog.h"
+#include "query/query.h"
+#include "source/physical_evaluator.h"
+#include "storage/io_stats.h"
+
+namespace wvm {
+
+/// An index declaration for one stored relation.
+struct IndexSpec {
+  std::string relation;
+  std::string attribute;
+  bool clustered = false;
+};
+
+/// The information source of Figure 1.1: a legacy system that owns the base
+/// relations, executes updates, and answers relational queries — and does
+/// nothing else. It has no knowledge of views, no locks held for the
+/// warehouse, no timestamps.
+///
+/// The source maintains both a logical catalog (ground truth for states
+/// V[ss_i]) and a blocked physical store whose access paths charge the IO
+/// meter. Events (one update execution, or one query evaluation) are atomic:
+/// the simulator calls one method per event.
+class Source {
+ public:
+  /// Builds a source over `initial` data. Indexes are applied before data
+  /// is loaded so clustered order holds. In Scenario 2 (kNestedLoopLimited)
+  /// `indexes` must be empty.
+  static Result<Source> Create(const Catalog& initial,
+                               const PhysicalConfig& config,
+                               const std::vector<IndexSpec>& indexes);
+
+  /// S_up body: executes `u` against both logical and physical state.
+  Status ExecuteUpdate(const Update& u);
+
+  /// S_qu body: evaluates `q` on the current state through the physical
+  /// evaluator, charging io_stats().
+  Result<AnswerMessage> EvaluateQuery(const Query& q);
+
+  const Catalog& catalog() const { return catalog_; }
+  const StorageMap& storage() const { return storage_; }
+  const PhysicalConfig& config() const { return config_; }
+  const IOStats& io_stats() const { return io_stats_; }
+  void ResetIOStats() { io_stats_.Reset(); }
+
+ private:
+  Source(Catalog catalog, PhysicalConfig config)
+      : catalog_(std::move(catalog)), config_(config) {}
+
+  Catalog catalog_;
+  StorageMap storage_;
+  PhysicalConfig config_;
+  IOStats io_stats_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_SOURCE_SOURCE_H_

@@ -1,0 +1,12 @@
+#include "storage/io_stats.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+std::string IOStats::ToString() const {
+  return StrCat("IO=", page_reads, " page reads (", index_probes, " probes, ",
+                full_scans, " scans, ", terms_evaluated, " terms)");
+}
+
+}  // namespace wvm

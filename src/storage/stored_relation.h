@@ -1,0 +1,102 @@
+#ifndef WVM_STORAGE_STORED_RELATION_H_
+#define WVM_STORAGE_STORED_RELATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/view_def.h"
+#include "relational/tuple.h"
+#include "storage/io_stats.h"
+
+namespace wvm {
+
+/// Declaration of an index on a stored relation. At most one index per
+/// relation may be clustered (it dictates physical tuple order). Matches the
+/// index inventory of the paper's Scenario 1: clustering indexes on r1.X,
+/// r2.X, r3.Y plus a non-clustering index on r2.Y.
+struct IndexDef {
+  std::string attribute;
+  bool clustered = false;
+};
+
+/// A base relation stored as a blocked heap file of K tuples per block —
+/// the physical model behind the paper's I/O analysis (Appendix D). Tuples
+/// are bags (duplicates allowed). If a clustered index exists, tuples are
+/// kept physically ordered by that attribute, so the matches for one value
+/// occupy ~ceil(matches/K) adjacent blocks.
+///
+/// I/O charging rules (Appendix D):
+///   * full scan: NumBlocks() = ceil(rows/K) page reads;
+///   * clustered index probe: one read per distinct block containing a
+///     match (>= 1 even when there are no matches: the probe touches the
+///     block where matches would reside);
+///   * non-clustered index probe: one read per matching tuple;
+///   * no caching: repeated probes re-charge.
+/// Index structures themselves are memory-resident and free.
+class StoredRelation {
+ public:
+  StoredRelation(BaseRelationDef def, int tuples_per_block);
+
+  /// Declares an index. Fails if `attr` is unknown, or a second clustered
+  /// index is requested. Must be called before data is loaded (clustered
+  /// order is maintained from then on).
+  Status AddIndex(const std::string& attr, bool clustered);
+
+  Status Insert(const Tuple& tuple);
+  /// Removes one copy of `tuple`; fails if absent.
+  Status Delete(const Tuple& tuple);
+
+  const BaseRelationDef& def() const { return def_; }
+  int tuples_per_block() const { return tuples_per_block_; }
+  size_t NumRows() const { return rows_.size(); }
+  /// I = ceil(C/K); 0 for an empty relation.
+  int NumBlocks() const;
+
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+  /// Best index on `attr`: the clustered one if it matches, else a
+  /// non-clustered one, else nullptr.
+  const IndexDef* FindIndex(const std::string& attr) const;
+
+  /// Expected matches per key for `attr` — rows / distinct values — the
+  /// join factor J(r, attr) the planner uses (free: index metadata).
+  double EstimatedMatchesPerKey(const std::string& attr) const;
+
+  /// Reads the whole file: charges NumBlocks() page reads (minus blocks
+  /// already read within the query when a ReadCache is supplied).
+  const std::vector<Tuple>& FullScan(IOStats* io,
+                                     ReadCache* cache = nullptr) const;
+
+  /// Tuples of block `b` (0-based); charging is the caller's concern (the
+  /// nested-loop evaluator charges per block load).
+  std::vector<Tuple> Block(int b) const;
+
+  /// Looks up all tuples with `tuple[attr] == value` through an index,
+  /// charging per the rules above. With a ReadCache, charging collapses to
+  /// one read per distinct uncached block (for non-clustered probes too:
+  /// re-fetching a cached block is free). Fails if there is no index on
+  /// `attr`.
+  Result<std::vector<Tuple>> IndexProbe(const std::string& attr,
+                                        const Value& value, IOStats* io,
+                                        ReadCache* cache = nullptr) const;
+
+  /// Charges one read for block `b` unless the cache already holds it.
+  void ChargeBlock(int b, IOStats* io, ReadCache* cache) const;
+
+  /// Raw rows without I/O charge (for tests and planner diagnostics).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  Result<size_t> AttrIndex(const std::string& attr) const;
+
+  BaseRelationDef def_;
+  int tuples_per_block_;
+  std::vector<IndexDef> indexes_;
+  std::optional<size_t> clustered_column_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_STORAGE_STORED_RELATION_H_

@@ -1,0 +1,320 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+namespace {
+
+// True if attribute `name` occurs in at least two relations of the
+// workload (i.e., it is a join attribute whose domain carries the join
+// factor).
+bool IsJoinAttribute(const std::vector<BaseRelationDef>& defs,
+                     const std::string& name) {
+  int count = 0;
+  for (const BaseRelationDef& d : defs) {
+    if (d.schema.IndexOf(name).has_value()) {
+      ++count;
+    }
+  }
+  return count >= 2;
+}
+
+// Domain size D = max(1, C/J) for join attributes: each of D values occurs
+// ~J times in a C-tuple relation.
+int64_t JoinDomain(int64_t cardinality, int64_t join_factor) {
+  return std::max<int64_t>(1, cardinality / std::max<int64_t>(1, join_factor));
+}
+
+// State threaded through insert generation: fresh-key counters per
+// attribute.
+struct InsertState {
+  int64_t cardinality;
+  int64_t join_domain;
+  std::map<std::string, int64_t> next_key;
+};
+
+Tuple GenerateInsertTuple(const std::vector<BaseRelationDef>& defs,
+                          const BaseRelationDef& rel, InsertState* state,
+                          Random* rng) {
+  std::vector<Value> values;
+  values.reserve(rel.schema.size());
+  for (const Attribute& a : rel.schema.attributes()) {
+    if (a.is_key) {
+      auto [it, inserted] = state->next_key.try_emplace(a.name,
+                                                        state->cardinality);
+      values.push_back(Value(it->second++));
+    } else if (IsJoinAttribute(defs, a.name)) {
+      values.push_back(
+          Value(static_cast<int64_t>(rng->Uniform(state->join_domain))));
+    } else {
+      values.push_back(
+          Value(static_cast<int64_t>(rng->Uniform(state->cardinality))));
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+Result<Workload> MakeExample6Workload(const Example6Config& config,
+                                      Random* rng) {
+  if (config.cardinality < 1 || config.join_factor < 1) {
+    return Status::InvalidArgument("cardinality and join factor must be >= 1");
+  }
+  const int64_t c = config.cardinality;
+  const int64_t d = JoinDomain(c, config.join_factor);
+
+  Workload w;
+  w.defs = {
+      {"r1", Schema::Ints({"W", "X"})},
+      {"r2", Schema::Ints({"X", "Y"})},
+      {"r3", Schema::Ints({"Y", "Z"})},
+  };
+
+  Relation r1(w.defs[0].schema);
+  Relation r2(w.defs[1].schema);
+  Relation r3(w.defs[2].schema);
+  const int64_t j = std::max<int64_t>(1, config.join_factor);
+  for (int64_t t = 0; t < c; ++t) {
+    // Each join-attribute value occurs J times. X cycles modulo D while
+    // r2's Y advances in J-sized runs, so X and Y are decorrelated (the J
+    // r2-tuples matching one X value carry J distinct Y values, as the
+    // paper's join-factor analysis assumes). W and Z are uniform so that
+    // sigma(W > Z) ~ 1/2.
+    const int64_t x = t % d;
+    const int64_t y2 = (t / j) % d;
+    const int64_t y3 = t % d;
+    r1.Insert(Tuple::Ints({static_cast<int64_t>(rng->Uniform(c)), x}));
+    r2.Insert(Tuple::Ints({x, y2}));
+    r3.Insert(Tuple::Ints({y3, static_cast<int64_t>(rng->Uniform(c))}));
+  }
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[0], std::move(r1)));
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[1], std::move(r2)));
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[2], std::move(r3)));
+
+  WVM_ASSIGN_OR_RETURN(
+      w.view, ViewDefinition::NaturalJoin(
+                  "V", w.defs, {"W", "Z"},
+                  Predicate::AttrCompare("W", CompareOp::kGt, "Z")));
+
+  // Scenario 1 indexes (Section 6.3): clustered X on r1 and r2, clustered Y
+  // on r3, non-clustered Y on r2.
+  w.scenario1_indexes = {
+      {"r1", "X", /*clustered=*/true},
+      {"r2", "X", /*clustered=*/true},
+      {"r3", "Y", /*clustered=*/true},
+      {"r2", "Y", /*clustered=*/false},
+  };
+  return w;
+}
+
+Result<Workload> MakeChainWorkload(const ChainConfig& config, Random* rng) {
+  if (config.num_relations < 2) {
+    return Status::InvalidArgument("chain needs at least two relations");
+  }
+  if (config.cardinality < 1 || config.join_factor < 1) {
+    return Status::InvalidArgument("cardinality and join factor must be >= 1");
+  }
+  const int n = config.num_relations;
+  const int64_t c = config.cardinality;
+  const int64_t j = std::max<int64_t>(1, config.join_factor);
+  const int64_t d = JoinDomain(c, j);
+
+  auto attr = [](int i) { return StrCat("c", i); };
+
+  Workload w;
+  for (int i = 1; i <= n; ++i) {
+    w.defs.push_back(
+        {StrCat("r", i), Schema::Ints({attr(i - 1), attr(i)})});
+  }
+  for (int i = 1; i <= n; ++i) {
+    Relation data(w.defs[i - 1].schema);
+    for (int64_t t = 0; t < c; ++t) {
+      // Join attributes carry J occurrences per value; the two chain ends
+      // (c0, cn) are uniform so sigma(c0 > cn) ~ 1/2. Left and right join
+      // attributes are decorrelated as in Example 6.
+      const int64_t left =
+          i == 1 ? static_cast<int64_t>(rng->Uniform(c)) : t % d;
+      const int64_t right = i == n ? static_cast<int64_t>(rng->Uniform(c))
+                                   : (i == 1 ? t % d : (t / j) % d);
+      data.Insert(Tuple::Ints({left, right}));
+    }
+    WVM_RETURN_IF_ERROR(
+        w.initial.DefineWithData(w.defs[i - 1], std::move(data)));
+  }
+
+  WVM_ASSIGN_OR_RETURN(
+      w.view,
+      ViewDefinition::NaturalJoin(
+          "V", w.defs, {attr(0), attr(n)},
+          Predicate::AttrCompare(attr(0), CompareOp::kGt, attr(n))));
+
+  // Index inventory generalizing the paper's: r1 clustered on its right
+  // join attribute; every other relation clustered on its left one;
+  // middle relations additionally get a non-clustered index on the right
+  // attribute so bound tuples can be probed from either side.
+  w.scenario1_indexes.push_back({"r1", attr(1), /*clustered=*/true});
+  for (int i = 2; i <= n; ++i) {
+    w.scenario1_indexes.push_back(
+        {StrCat("r", i), attr(i - 1), /*clustered=*/true});
+    if (i < n) {
+      w.scenario1_indexes.push_back(
+          {StrCat("r", i), attr(i), /*clustered=*/false});
+    }
+  }
+  return w;
+}
+
+Result<Workload> MakeKeyedWorkload(const KeyedConfig& config, Random* rng) {
+  (void)rng;
+  if (config.cardinality < 1 || config.join_factor < 1) {
+    return Status::InvalidArgument("cardinality and join factor must be >= 1");
+  }
+  const int64_t c = config.cardinality;
+  const int64_t d = JoinDomain(c, config.join_factor);
+
+  Workload w;
+  Schema r1_schema({{"W", ValueType::kInt, /*is_key=*/true},
+                    {"X", ValueType::kInt, /*is_key=*/false}});
+  Schema r2_schema({{"X", ValueType::kInt, /*is_key=*/false},
+                    {"Y", ValueType::kInt, /*is_key=*/true}});
+  w.defs = {{"r1", std::move(r1_schema)}, {"r2", std::move(r2_schema)}};
+
+  Relation r1(w.defs[0].schema);
+  Relation r2(w.defs[1].schema);
+  for (int64_t t = 0; t < c; ++t) {
+    r1.Insert(Tuple::Ints({t, t % d}));
+    r2.Insert(Tuple::Ints({t % d, t}));
+  }
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[0], std::move(r1)));
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[1], std::move(r2)));
+
+  WVM_ASSIGN_OR_RETURN(w.view,
+                       ViewDefinition::NaturalJoin("V", w.defs, {"W", "Y"}));
+  w.scenario1_indexes = {
+      {"r1", "X", /*clustered=*/true},
+      {"r2", "X", /*clustered=*/true},
+  };
+  return w;
+}
+
+Result<std::vector<Update>> MakeRoundRobinInserts(const Workload& workload,
+                                                  int64_t k, Random* rng) {
+  if (workload.defs.empty()) {
+    return Status::InvalidArgument("workload has no relations");
+  }
+  InsertState state;
+  state.cardinality =
+      std::max<int64_t>(1, workload.initial.Get(workload.defs[0].name)
+                               .value()
+                               ->TotalPositive());
+  // Recover D from the data: distinct values of the first join attribute.
+  state.join_domain = state.cardinality;
+  for (const BaseRelationDef& def : workload.defs) {
+    for (const Attribute& a : def.schema.attributes()) {
+      if (IsJoinAttribute(workload.defs, a.name)) {
+        const Relation* r = workload.initial.Get(def.name).value();
+        std::optional<size_t> col = def.schema.IndexOf(a.name);
+        std::vector<Value> seen;
+        for (const auto& [t, c] : r->entries()) {
+          (void)c;
+          seen.push_back(t.value(*col));
+        }
+        std::sort(seen.begin(), seen.end());
+        seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+        if (!seen.empty()) {
+          state.join_domain = static_cast<int64_t>(seen.size());
+        }
+        break;
+      }
+    }
+    break;
+  }
+
+  std::vector<Update> updates;
+  updates.reserve(k);
+  for (int64_t i = 0; i < k; ++i) {
+    const BaseRelationDef& rel = workload.defs[i % workload.defs.size()];
+    updates.push_back(Update::Insert(
+        rel.name, GenerateInsertTuple(workload.defs, rel, &state, rng)));
+  }
+  return updates;
+}
+
+Result<std::vector<Update>> MakeCorrelatedInserts(const Workload& workload,
+                                                  int64_t k, Random* rng) {
+  if (workload.defs.size() != 3) {
+    return Status::InvalidArgument(
+        "correlated inserts are defined for the three-relation chain");
+  }
+  const int64_t c = std::max<int64_t>(
+      1,
+      workload.initial.Get(workload.defs[0].name).value()->TotalPositive());
+  // Hot values from the live domain so the main terms still join the base
+  // data.
+  const int64_t x0 = 0;
+  const int64_t y0 = 0;
+  std::vector<Update> updates;
+  updates.reserve(k);
+  for (int64_t i = 0; i < k; ++i) {
+    switch (i % 3) {
+      case 0:
+        updates.push_back(Update::Insert(
+            "r1",
+            Tuple::Ints({static_cast<int64_t>(rng->Uniform(c)), x0})));
+        break;
+      case 1:
+        updates.push_back(Update::Insert("r2", Tuple::Ints({x0, y0})));
+        break;
+      default:
+        updates.push_back(Update::Insert(
+            "r3",
+            Tuple::Ints({y0, static_cast<int64_t>(rng->Uniform(c))})));
+        break;
+    }
+  }
+  return updates;
+}
+
+Result<std::vector<Update>> MakeMixedUpdates(const Workload& workload,
+                                             int64_t k,
+                                             double delete_fraction,
+                                             Random* rng) {
+  Catalog shadow = workload.initial.Clone();
+  InsertState state;
+  state.cardinality = std::max<int64_t>(
+      1,
+      workload.initial.Get(workload.defs[0].name).value()->TotalPositive());
+  state.join_domain = JoinDomain(state.cardinality, 4);
+
+  std::vector<Update> updates;
+  updates.reserve(k);
+  for (int64_t i = 0; i < k; ++i) {
+    const BaseRelationDef& rel = workload.defs[rng->Uniform(
+        workload.defs.size())];
+    const Relation* live = shadow.Get(rel.name).value();
+    const bool do_delete =
+        !live->IsEmpty() &&
+        rng->Uniform(1000) < static_cast<uint64_t>(delete_fraction * 1000);
+    Update u;
+    if (do_delete) {
+      // Pick a uniformly random distinct live tuple.
+      size_t target = rng->Uniform(live->NumDistinct());
+      auto it = live->entries().begin();
+      std::advance(it, target);
+      u = Update::Delete(rel.name, it->first);
+    } else {
+      u = Update::Insert(rel.name,
+                         GenerateInsertTuple(workload.defs, rel, &state, rng));
+    }
+    WVM_RETURN_IF_ERROR(shadow.Apply(u));
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+}  // namespace wvm

@@ -1,0 +1,92 @@
+#ifndef WVM_WORKLOAD_GENERATOR_H_
+#define WVM_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+#include "relational/update.h"
+#include "source/source.h"
+
+namespace wvm {
+
+/// A generated warehouse scenario: base relations with data, the view, and
+/// the index set the paper's Scenario 1 assumes.
+struct Workload {
+  std::vector<BaseRelationDef> defs;
+  Catalog initial;
+  ViewDefinitionPtr view;
+  std::vector<IndexSpec> scenario1_indexes;
+};
+
+/// Parameters of the paper's Example 6 sample scenario:
+/// r1(W,X), r2(X,Y), r3(Y,Z), V = pi_{W,Z}(sigma_{W>Z}(r1 |x| r2 |x| r3)).
+/// Data is generated so the Table 1 parameters hold: every relation has
+/// `cardinality` tuples, every join attribute value matches `join_factor`
+/// tuples, and W/Z are uniform over [0, cardinality) so that sigma(W>Z) is
+/// ~1/2.
+struct Example6Config {
+  int64_t cardinality = 100;  // C
+  int64_t join_factor = 4;    // J
+};
+
+Result<Workload> MakeExample6Workload(const Example6Config& config,
+                                      Random* rng);
+
+/// Generalization of Example 6 to an n-relation chain
+/// r1(c0,c1), r2(c1,c2), ..., rn(c_{n-1},c_n) with
+/// V = pi_{c0,cn}(sigma_{c0>cn}(r1 |x| ... |x| rn)) — used to test the
+/// paper's closing claim that "when the view involves more relations, ECA
+/// should still generally outperform RV" (Section 6.3). Index inventory
+/// mirrors the paper's Scenario 1 pattern: each relation clustered on its
+/// join attribute toward r1 (r1 itself on c1), with non-clustered indexes
+/// on the middle relations' right attributes.
+struct ChainConfig {
+  int num_relations = 3;
+  int64_t cardinality = 100;
+  int64_t join_factor = 4;
+};
+
+Result<Workload> MakeChainWorkload(const ChainConfig& config, Random* rng);
+
+/// A two-relation keyed scenario for ECA-Key: r1(W key, X), r2(X, Y key),
+/// V = pi_{W,Y}(r1 |x| r2). W and Y are unique; X carries the join factor.
+struct KeyedConfig {
+  int64_t cardinality = 100;
+  int64_t join_factor = 4;
+};
+
+Result<Workload> MakeKeyedWorkload(const KeyedConfig& config, Random* rng);
+
+/// k single-tuple inserts cycling r1, r2, r3, ... (the paper's k-update
+/// analyses assume updates uniform over the relations; round-robin realizes
+/// the per-relation frequencies exactly). New tuples draw join attributes
+/// from the live domain so the join factor is preserved in expectation.
+Result<std::vector<Update>> MakeRoundRobinInserts(const Workload& workload,
+                                                  int64_t k, Random* rng);
+
+/// k inserts cycling r1, r2, r3 whose join attributes all carry one shared
+/// "hot" value pair (x0, y0) from the live domain. This realizes the
+/// idealization behind the paper's ECA worst-case formulas, where EVERY
+/// cross-relation pair of updates joins (so each compensating term
+/// contributes ~sigma*J tuples). Join factors at the hot values drift
+/// upward as inserts accumulate; the paper's constant-parameter assumption
+/// (Section 6.2, assumption 5) corresponds to k << C.
+Result<std::vector<Update>> MakeCorrelatedInserts(const Workload& workload,
+                                                  int64_t k, Random* rng);
+
+/// k updates, each a delete of a currently existing tuple with probability
+/// `delete_fraction`, otherwise an insert as above. Tracks relation
+/// contents while generating so deletes are always valid, whatever order
+/// the source executes them in.
+Result<std::vector<Update>> MakeMixedUpdates(const Workload& workload,
+                                             int64_t k,
+                                             double delete_fraction,
+                                             Random* rng);
+
+}  // namespace wvm
+
+#endif  // WVM_WORKLOAD_GENERATOR_H_

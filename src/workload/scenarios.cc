@@ -1,0 +1,256 @@
+#include "workload/scenarios.h"
+
+namespace wvm {
+
+namespace {
+
+constexpr SimAction kU = SimAction::kSourceUpdate;
+constexpr SimAction kA = SimAction::kSourceAnswer;
+constexpr SimAction kW = SimAction::kWarehouseStep;
+
+// Builds a catalog over two int relations r1(W,X), r2(X,Y).
+Result<Catalog> TwoRelationCatalog(std::initializer_list<Tuple> r1_tuples,
+                                   std::initializer_list<Tuple> r2_tuples,
+                                   bool keyed = false) {
+  Catalog catalog;
+  Schema r1_schema =
+      keyed ? Schema({{"W", ValueType::kInt, true},
+                      {"X", ValueType::kInt, false}})
+            : Schema::Ints({"W", "X"});
+  Schema r2_schema =
+      keyed ? Schema({{"X", ValueType::kInt, false},
+                      {"Y", ValueType::kInt, true}})
+            : Schema::Ints({"X", "Y"});
+  WVM_RETURN_IF_ERROR(catalog.DefineWithData(
+      BaseRelationDef{"r1", r1_schema},
+      Relation::FromTuples(r1_schema, r1_tuples)));
+  WVM_RETURN_IF_ERROR(catalog.DefineWithData(
+      BaseRelationDef{"r2", r2_schema},
+      Relation::FromTuples(r2_schema, r2_tuples)));
+  return catalog;
+}
+
+// r1(W,X), r2(X,Y), r3(Y,Z) with the given contents.
+Result<Catalog> ThreeRelationCatalog(std::initializer_list<Tuple> r1_tuples,
+                                     std::initializer_list<Tuple> r2_tuples,
+                                     std::initializer_list<Tuple> r3_tuples) {
+  Catalog catalog;
+  Schema s1 = Schema::Ints({"W", "X"});
+  Schema s2 = Schema::Ints({"X", "Y"});
+  Schema s3 = Schema::Ints({"Y", "Z"});
+  WVM_RETURN_IF_ERROR(catalog.DefineWithData(
+      BaseRelationDef{"r1", s1}, Relation::FromTuples(s1, r1_tuples)));
+  WVM_RETURN_IF_ERROR(catalog.DefineWithData(
+      BaseRelationDef{"r2", s2}, Relation::FromTuples(s2, r2_tuples)));
+  WVM_RETURN_IF_ERROR(catalog.DefineWithData(
+      BaseRelationDef{"r3", s3}, Relation::FromTuples(s3, r3_tuples)));
+  return catalog;
+}
+
+Result<ViewDefinitionPtr> TwoRelationView(
+    const Catalog& catalog, const std::vector<std::string>& projection) {
+  WVM_ASSIGN_OR_RETURN(Schema s1, catalog.GetSchema("r1"));
+  WVM_ASSIGN_OR_RETURN(Schema s2, catalog.GetSchema("r2"));
+  return ViewDefinition::NaturalJoin(
+      "V", {{"r1", std::move(s1)}, {"r2", std::move(s2)}}, projection);
+}
+
+Result<ViewDefinitionPtr> ThreeRelationView(
+    const Catalog& catalog, const std::vector<std::string>& projection) {
+  WVM_ASSIGN_OR_RETURN(Schema s1, catalog.GetSchema("r1"));
+  WVM_ASSIGN_OR_RETURN(Schema s2, catalog.GetSchema("r2"));
+  WVM_ASSIGN_OR_RETURN(Schema s3, catalog.GetSchema("r3"));
+  return ViewDefinition::NaturalJoin("V",
+                                     {{"r1", std::move(s1)},
+                                      {"r2", std::move(s2)},
+                                      {"r3", std::move(s3)}},
+                                     projection);
+}
+
+Relation OutputRelation(const ViewDefinitionPtr& view,
+                        std::initializer_list<Tuple> tuples) {
+  return Relation::FromTuples(view->output_schema(), tuples);
+}
+
+}  // namespace
+
+Result<PaperExample> MakePaperExample1() {
+  PaperExample ex;
+  ex.name = "Example 1";
+  ex.description =
+      "Correct view maintenance: a single insert whose query is answered "
+      "before anything else happens; the basic algorithm is fine here.";
+  ex.algorithm = "basic";
+  WVM_ASSIGN_OR_RETURN(ex.initial, TwoRelationCatalog({Tuple::Ints({1, 2})},
+                                                      {Tuple::Ints({2, 4})}));
+  WVM_ASSIGN_OR_RETURN(ex.view, TwoRelationView(ex.initial, {"W"}));
+  ex.updates = {Update::Insert("r2", Tuple::Ints({2, 3}))};
+  ex.actions = {kU, kW, kA, kW};
+  ex.expected_correct_final =
+      OutputRelation(ex.view, {Tuple::Ints({1}), Tuple::Ints({1})});
+  ex.expected_algorithm_final = ex.expected_correct_final;
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample2() {
+  PaperExample ex;
+  ex.name = "Example 2";
+  ex.description =
+      "The insert-insert anomaly: Q1 is evaluated after U2 and sees the "
+      "[4,2] tuple, so the basic algorithm double-counts [4].";
+  ex.algorithm = "basic";
+  WVM_ASSIGN_OR_RETURN(ex.initial,
+                       TwoRelationCatalog({Tuple::Ints({1, 2})}, {}));
+  WVM_ASSIGN_OR_RETURN(ex.view, TwoRelationView(ex.initial, {"W"}));
+  ex.updates = {Update::Insert("r2", Tuple::Ints({2, 3})),
+                Update::Insert("r1", Tuple::Ints({4, 2}))};
+  ex.actions = {kU, kW, kU, kW, kA, kW, kA, kW};
+  ex.expected_correct_final =
+      OutputRelation(ex.view, {Tuple::Ints({1}), Tuple::Ints({4})});
+  ex.expected_algorithm_final = OutputRelation(
+      ex.view, {Tuple::Ints({1}), Tuple::Ints({4}), Tuple::Ints({4})});
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample3() {
+  PaperExample ex;
+  ex.name = "Example 3";
+  ex.description =
+      "The deletion anomaly: both queries see already-emptied relations, "
+      "both answers are empty, and the stale tuple [1,3] survives.";
+  ex.algorithm = "basic";
+  WVM_ASSIGN_OR_RETURN(ex.initial, TwoRelationCatalog({Tuple::Ints({1, 2})},
+                                                      {Tuple::Ints({2, 3})}));
+  WVM_ASSIGN_OR_RETURN(ex.view, TwoRelationView(ex.initial, {"W", "Y"}));
+  ex.updates = {Update::Delete("r1", Tuple::Ints({1, 2})),
+                Update::Delete("r2", Tuple::Ints({2, 3}))};
+  ex.actions = {kU, kW, kU, kW, kA, kW, kA, kW};
+  ex.expected_correct_final = OutputRelation(ex.view, {});
+  ex.expected_algorithm_final =
+      OutputRelation(ex.view, {Tuple::Ints({1, 3})});
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample4() {
+  PaperExample ex;
+  ex.name = "Example 4";
+  ex.description =
+      "ECA with three concurrent inserts into three relations; all updates "
+      "reach the warehouse before any answer, so Q2 and Q3 carry "
+      "compensating queries. Final view ([1],[4]) is correct.";
+  ex.algorithm = "eca";
+  WVM_ASSIGN_OR_RETURN(ex.initial,
+                       ThreeRelationCatalog({Tuple::Ints({1, 2})}, {}, {}));
+  WVM_ASSIGN_OR_RETURN(ex.view, ThreeRelationView(ex.initial, {"W"}));
+  ex.updates = {Update::Insert("r1", Tuple::Ints({4, 2})),
+                Update::Insert("r3", Tuple::Ints({5, 3})),
+                Update::Insert("r2", Tuple::Ints({2, 5}))};
+  ex.actions = {kU, kW, kU, kW, kU, kW, kA, kW, kA, kW, kA, kW};
+  ex.expected_correct_final =
+      OutputRelation(ex.view, {Tuple::Ints({1}), Tuple::Ints({4})});
+  ex.expected_algorithm_final = ex.expected_correct_final;
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample5() {
+  PaperExample ex;
+  ex.name = "Example 5";
+  ex.description =
+      "ECA-Key: two inserts and a key-delete; the delete is handled locally "
+      "and the duplicate [3,4] from the anomaly is suppressed.";
+  ex.algorithm = "eca-key";
+  WVM_ASSIGN_OR_RETURN(
+      ex.initial, TwoRelationCatalog({Tuple::Ints({1, 2})},
+                                     {Tuple::Ints({2, 3})}, /*keyed=*/true));
+  WVM_ASSIGN_OR_RETURN(ex.view, TwoRelationView(ex.initial, {"W", "Y"}));
+  ex.updates = {Update::Insert("r2", Tuple::Ints({2, 4})),
+                Update::Insert("r1", Tuple::Ints({3, 2})),
+                Update::Delete("r1", Tuple::Ints({1, 2}))};
+  ex.actions = {kU, kW, kU, kW, kU, kW, kA, kW, kA, kW};
+  ex.expected_correct_final =
+      OutputRelation(ex.view, {Tuple::Ints({3, 3}), Tuple::Ints({3, 4})});
+  ex.expected_algorithm_final = ex.expected_correct_final;
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample7() {
+  PaperExample ex;
+  ex.name = "Example 7";
+  ex.description =
+      "ECA (Appendix A): same updates as Example 4 but A1 returns before "
+      "U3, so Q3 only compensates against Q2.";
+  ex.algorithm = "eca";
+  WVM_ASSIGN_OR_RETURN(ex.initial,
+                       ThreeRelationCatalog({Tuple::Ints({1, 2})}, {}, {}));
+  WVM_ASSIGN_OR_RETURN(ex.view, ThreeRelationView(ex.initial, {"W"}));
+  ex.updates = {Update::Insert("r1", Tuple::Ints({4, 2})),
+                Update::Insert("r3", Tuple::Ints({5, 3})),
+                Update::Insert("r2", Tuple::Ints({2, 5}))};
+  ex.actions = {kU, kW, kU, kW, kA, kW, kU, kW, kA, kW, kA, kW};
+  ex.expected_correct_final =
+      OutputRelation(ex.view, {Tuple::Ints({1}), Tuple::Ints({4})});
+  ex.expected_algorithm_final = ex.expected_correct_final;
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample8() {
+  PaperExample ex;
+  ex.name = "Example 8";
+  ex.description =
+      "ECA (Appendix A): two concurrent deletions; the compensating query "
+      "turns into an addition because minus times minus is plus.";
+  ex.algorithm = "eca";
+  WVM_ASSIGN_OR_RETURN(
+      ex.initial,
+      TwoRelationCatalog({Tuple::Ints({1, 2}), Tuple::Ints({4, 2})},
+                         {Tuple::Ints({2, 3})}));
+  WVM_ASSIGN_OR_RETURN(ex.view, TwoRelationView(ex.initial, {"W"}));
+  ex.updates = {Update::Delete("r1", Tuple::Ints({4, 2})),
+                Update::Delete("r2", Tuple::Ints({2, 3}))};
+  ex.actions = {kU, kW, kU, kW, kA, kW, kA, kW};
+  ex.expected_correct_final = OutputRelation(ex.view, {});
+  ex.expected_algorithm_final = ex.expected_correct_final;
+  return ex;
+}
+
+Result<PaperExample> MakePaperExample9() {
+  PaperExample ex;
+  ex.name = "Example 9";
+  ex.description =
+      "ECA (Appendix A): a deletion followed by an insertion; the deleted "
+      "[4] reported by A1 is offset by the compensation inside A2.";
+  ex.algorithm = "eca";
+  WVM_ASSIGN_OR_RETURN(
+      ex.initial,
+      TwoRelationCatalog({Tuple::Ints({1, 2}), Tuple::Ints({4, 2})}, {}));
+  WVM_ASSIGN_OR_RETURN(ex.view, TwoRelationView(ex.initial, {"W"}));
+  ex.updates = {Update::Delete("r1", Tuple::Ints({4, 2})),
+                Update::Insert("r2", Tuple::Ints({2, 3}))};
+  ex.actions = {kU, kW, kU, kW, kA, kW, kA, kW};
+  ex.expected_correct_final = OutputRelation(ex.view, {Tuple::Ints({1})});
+  ex.expected_algorithm_final = ex.expected_correct_final;
+  return ex;
+}
+
+Result<std::vector<PaperExample>> AllPaperExamples() {
+  std::vector<PaperExample> out;
+  WVM_ASSIGN_OR_RETURN(PaperExample e1, MakePaperExample1());
+  out.push_back(std::move(e1));
+  WVM_ASSIGN_OR_RETURN(PaperExample e2, MakePaperExample2());
+  out.push_back(std::move(e2));
+  WVM_ASSIGN_OR_RETURN(PaperExample e3, MakePaperExample3());
+  out.push_back(std::move(e3));
+  WVM_ASSIGN_OR_RETURN(PaperExample e4, MakePaperExample4());
+  out.push_back(std::move(e4));
+  WVM_ASSIGN_OR_RETURN(PaperExample e5, MakePaperExample5());
+  out.push_back(std::move(e5));
+  WVM_ASSIGN_OR_RETURN(PaperExample e7, MakePaperExample7());
+  out.push_back(std::move(e7));
+  WVM_ASSIGN_OR_RETURN(PaperExample e8, MakePaperExample8());
+  out.push_back(std::move(e8));
+  WVM_ASSIGN_OR_RETURN(PaperExample e9, MakePaperExample9());
+  out.push_back(std::move(e9));
+  return out;
+}
+
+}  // namespace wvm

@@ -1,0 +1,61 @@
+#ifndef WVM_WORKLOAD_SCENARIOS_H_
+#define WVM_WORKLOAD_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/catalog.h"
+#include "query/view_def.h"
+#include "relational/relation.h"
+#include "relational/update.h"
+#include "sim/simulation.h"
+
+namespace wvm {
+
+/// One of the paper's numbered, fully worked examples: initial data, view,
+/// update sequence, the exact event interleaving the paper walks through,
+/// and the expected outcomes. Used by the integration tests (which assert
+/// every intermediate and final state) and by examples/anomaly_tour.
+struct PaperExample {
+  std::string name;
+  std::string description;
+  /// Algorithm the paper runs the example under: "basic", "eca", "eca-key".
+  std::string algorithm;
+  Catalog initial;
+  ViewDefinitionPtr view;
+  std::vector<Update> updates;
+  /// The exact action interleaving of the paper's event list.
+  std::vector<SimAction> actions;
+  /// The correct final view (V at the final source state).
+  Relation expected_correct_final;
+  /// The (incorrect) final view the paper derives for the basic algorithm;
+  /// empty optional behavior: equals expected_correct_final when the
+  /// example exhibits no anomaly.
+  Relation expected_algorithm_final;
+};
+
+/// Example 1: correct maintenance under the basic algorithm (no
+/// concurrency).
+Result<PaperExample> MakePaperExample1();
+/// Example 2: the insert-insert anomaly — basic yields ([1],[4],[4]).
+Result<PaperExample> MakePaperExample2();
+/// Example 3: the deletion anomaly — basic leaves ([1,3]) instead of ().
+Result<PaperExample> MakePaperExample3();
+/// Example 4: ECA handling three concurrent inserts (Section 5.3).
+Result<PaperExample> MakePaperExample4();
+/// Example 5: ECA-Key with two inserts and a key-delete (Section 5.4).
+Result<PaperExample> MakePaperExample5();
+/// Example 7 (Appendix A): ECA insertions, interleaved answer order.
+Result<PaperExample> MakePaperExample7();
+/// Example 8 (Appendix A): ECA with two deletions.
+Result<PaperExample> MakePaperExample8();
+/// Example 9 (Appendix A): ECA with a deletion and an insertion.
+Result<PaperExample> MakePaperExample9();
+
+/// All of the above, in paper order.
+Result<std::vector<PaperExample>> AllPaperExamples();
+
+}  // namespace wvm
+
+#endif  // WVM_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,104 @@
+// Tests for the ECA-vs-RV advisor: its crossover points must match the
+// paper's figures, and its recommendations must be consistent with the
+// underlying cost model at every k.
+#include "analytic/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wvm::analytic {
+namespace {
+
+TEST(AdvisorTest, CrossoversMatchThePaperFigures) {
+  Crossovers x = ComputeCrossovers(Params());
+  // Figure 6.3: ECA-best crosses RV-best at k = C = 100; ECA-worst near 30.
+  EXPECT_DOUBLE_EQ(x.bytes_best, 100);
+  EXPECT_GT(x.bytes_worst, 29);
+  EXPECT_LT(x.bytes_worst, 31);
+  // Figure 6.4: crossover at k = 3.
+  EXPECT_DOUBLE_EQ(x.io_s1_best, 3);
+  EXPECT_GT(x.io_s1_worst, 2);
+  EXPECT_LT(x.io_s1_worst, 3);
+  // Figure 6.5: ECA-best crosses at I^2/I' = 25/3; ECA-worst in (5, 8).
+  EXPECT_NEAR(x.io_s2_best, 25.0 / 3.0, 1e-9);
+  EXPECT_GT(x.io_s2_worst, 5);
+  EXPECT_LT(x.io_s2_worst, 8);
+}
+
+TEST(AdvisorTest, CrossoversSolveTheModelEquations) {
+  // At each reported crossover the two curves actually meet.
+  Params p;
+  p.C = 60;
+  p.J = 3;
+  p.K = 10;
+  Crossovers x = ComputeCrossovers(p);
+  const auto k_bw = static_cast<int64_t>(std::lround(x.bytes_worst));
+  EXPECT_NEAR(BytesEcaWorst(p, k_bw), BytesRvBest(p, k_bw),
+              0.15 * BytesRvBest(p, k_bw));
+  const auto k_s2 = static_cast<int64_t>(std::lround(x.io_s2_worst));
+  EXPECT_NEAR(IoEcaWorstS2(p, k_s2), IoRvBestS2(p, k_s2),
+              0.20 * IoRvBestS2(p, k_s2));
+}
+
+TEST(AdvisorTest, SmallWindowsFavorEca) {
+  Advice a = Advise(Params(), 2, PhysicalScenario::kIndexedMemory);
+  EXPECT_EQ(a.by_bytes, Choice::kEca);
+  // Below the k=3 crossover even ECA's worst case is competitive.
+  EXPECT_NE(a.by_io, Choice::kRv);
+  EXPECT_EQ(a.eca_messages, 4);
+  EXPECT_EQ(a.rv_messages, 2);
+  // At the exact crossover k=3 the tie goes to RV (ECA-best equals
+  // recompute-once while ECA-worst exceeds it).
+  EXPECT_EQ(Advise(Params(), 3, PhysicalScenario::kIndexedMemory).by_io,
+            Choice::kRv);
+}
+
+TEST(AdvisorTest, LargeWindowsFavorRv) {
+  Advice a = Advise(Params(), 200, PhysicalScenario::kIndexedMemory);
+  EXPECT_EQ(a.by_bytes, Choice::kRv);
+  EXPECT_EQ(a.by_io, Choice::kRv);
+}
+
+TEST(AdvisorTest, MidWindowsDependOnInterleaving) {
+  // Between the worst-case (k~30) and best-case (k=100) byte crossovers
+  // the winner is interleaving-dependent — the band Figure 6.3 shades.
+  Advice a = Advise(Params(), 60, PhysicalScenario::kIndexedMemory);
+  EXPECT_EQ(a.by_bytes, Choice::kDependsOnInterleaving);
+}
+
+TEST(AdvisorTest, ScenarioChangesTheIoVerdict) {
+  // At k=6, Scenario 1 already favors RV (crossover 3) while Scenario 2
+  // is still in the interleaving-dependent band (5 < worst-crossover < 8,
+  // best-crossover 8.3).
+  Advice s1 = Advise(Params(), 6, PhysicalScenario::kIndexedMemory);
+  Advice s2 = Advise(Params(), 6, PhysicalScenario::kNestedLoopLimited);
+  EXPECT_EQ(s1.by_io, Choice::kRv);
+  EXPECT_EQ(s2.by_io, Choice::kDependsOnInterleaving);
+}
+
+TEST(AdvisorTest, DecisionsAreMonotoneInK) {
+  // Sweeping k, the verdict must only ever move ECA -> depends -> RV.
+  Params p;
+  int stage = 0;  // 0=eca, 1=depends, 2=rv
+  for (int64_t k = 1; k <= 300; ++k) {
+    Advice a = Advise(p, k, PhysicalScenario::kIndexedMemory);
+    int now = a.by_bytes == Choice::kEca                      ? 0
+              : a.by_bytes == Choice::kDependsOnInterleaving ? 1
+                                                             : 2;
+    EXPECT_GE(now, stage) << "k=" << k;
+    stage = now;
+  }
+  EXPECT_EQ(stage, 2);
+}
+
+TEST(AdvisorTest, ToStringsAreReadable) {
+  EXPECT_NE(ComputeCrossovers(Params()).ToString().find("bytes"),
+            std::string::npos);
+  Advice a = Advise(Params(), 10, PhysicalScenario::kIndexedMemory);
+  EXPECT_NE(a.ToString().find("messages"), std::string::npos);
+  EXPECT_STREQ(ChoiceName(Choice::kRv), "rv");
+}
+
+}  // namespace
+}  // namespace wvm::analytic

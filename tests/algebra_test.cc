@@ -1,0 +1,119 @@
+#include "relational/algebra.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+Relation R1() {
+  // r1(W,X) = ([1,2], [4,2])
+  return Relation::FromTuples(Schema::Ints({"W", "X"}),
+                              {Tuple::Ints({1, 2}), Tuple::Ints({4, 2})});
+}
+
+Relation R2() {
+  // r2(X2,Y) = ([2,3], [5,6]) -- distinct names for cross products
+  return Relation::FromTuples(Schema::Ints({"X2", "Y"}),
+                              {Tuple::Ints({2, 3}), Tuple::Ints({5, 6})});
+}
+
+TEST(AlgebraTest, SelectFiltersByPredicate) {
+  Result<Relation> out =
+      Select(R1(), Predicate::Compare(Operand::Attr("W"), CompareOp::kGt,
+                                      Operand::ConstInt(2)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, Relation::FromTuples(Schema::Ints({"W", "X"}),
+                                       {Tuple::Ints({4, 2})}));
+}
+
+TEST(AlgebraTest, SelectPreservesMultiplicityAndSign) {
+  Relation r(Schema::Ints({"a"}));
+  r.Insert(Tuple::Ints({1}), -2);
+  r.Insert(Tuple::Ints({5}), 3);
+  Result<Relation> out = Select(
+      r, Predicate::Compare(Operand::Attr("a"), CompareOp::kLt,
+                            Operand::ConstInt(3)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->CountOf(Tuple::Ints({1})), -2);
+  EXPECT_EQ(out->CountOf(Tuple::Ints({5})), 0);
+}
+
+TEST(AlgebraTest, ProjectByNameKeepsDuplicates) {
+  Result<Relation> out = Project(R1(), {"X"});
+  ASSERT_TRUE(out.ok());
+  // Both tuples project to [2]: bag projection keeps multiplicity 2.
+  EXPECT_EQ(out->CountOf(Tuple::Ints({2})), 2);
+  EXPECT_EQ(out->schema().attribute(0).name, "X");
+}
+
+TEST(AlgebraTest, ProjectUnknownAttributeFails) {
+  EXPECT_EQ(Project(R1(), {"Q"}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AlgebraTest, ProjectCollapsesSignedCounts) {
+  Relation r(Schema::Ints({"a", "b"}));
+  r.Insert(Tuple::Ints({1, 7}), 1);
+  r.Insert(Tuple::Ints({2, 7}), -1);
+  Result<Relation> out = Project(r, {"b"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->IsEmpty());  // +[7] and -[7] cancel
+}
+
+TEST(AlgebraTest, CrossProductMultipliesCounts) {
+  Result<Relation> out = CrossProduct(R1(), R2());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->TotalPositive(), 4);
+  EXPECT_EQ(out->CountOf(Tuple::Ints({1, 2, 2, 3})), 1);
+}
+
+TEST(AlgebraTest, CrossProductRejectsDuplicateNames) {
+  EXPECT_EQ(CrossProduct(R1(), R1()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AlgebraTest, NaturalJoinOnSharedAttribute) {
+  Relation r2 = Relation::FromTuples(Schema::Ints({"X", "Y"}),
+                                     {Tuple::Ints({2, 3})});
+  Result<Relation> out = NaturalJoin(R1(), r2);
+  ASSERT_TRUE(out.ok());
+  // r1(W,X) |x| r2(X,Y): both r1 tuples match X=2.
+  EXPECT_EQ(out->CountOf(Tuple::Ints({1, 2, 3})), 1);
+  EXPECT_EQ(out->CountOf(Tuple::Ints({4, 2, 3})), 1);
+  EXPECT_EQ(out->schema().size(), 3u);
+}
+
+TEST(AlgebraTest, NaturalJoinWithNoSharedAttributesIsCross) {
+  Result<Relation> out = NaturalJoin(R1(), R2());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->TotalPositive(), 4);
+}
+
+TEST(AlgebraTest, NaturalJoinSignPropagation) {
+  // Example from Section 4.1: Q1 = pi_W(-[1,2] |x| r2) where r2 has [2,3].
+  Relation deleted(Schema::Ints({"W", "X"}));
+  deleted.Insert(Tuple::Ints({1, 2}), -1);
+  Relation r2 = Relation::FromTuples(Schema::Ints({"X", "Y"}),
+                                     {Tuple::Ints({2, 3})});
+  Result<Relation> joined = NaturalJoin(deleted, r2);
+  ASSERT_TRUE(joined.ok());
+  Result<Relation> projected = Project(*joined, {"W"});
+  ASSERT_TRUE(projected.ok());
+  // The minus sign carries through: A1 contains -[1].
+  EXPECT_EQ(projected->CountOf(Tuple::Ints({1})), -1);
+}
+
+TEST(AlgebraTest, NaturalJoinEmptyInputYieldsEmpty) {
+  Relation empty(Schema::Ints({"X", "Y"}));
+  Result<Relation> out = NaturalJoin(R1(), empty);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->IsEmpty());
+}
+
+TEST(AlgebraTest, NaturalJoinTypeMismatchFails) {
+  Relation other(Schema({{"X", ValueType::kString, false}}));
+  EXPECT_EQ(NaturalJoin(R1(), other).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,131 @@
+// Tests for the n-relation chain generalization: generated parameters,
+// and algorithm correctness on longer chains than the paper's three.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "query/evaluator.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+TEST(ChainWorkloadTest, RejectsDegenerateChains) {
+  Random rng(1);
+  EXPECT_FALSE(MakeChainWorkload({1, 10, 2}, &rng).ok());
+  EXPECT_FALSE(MakeChainWorkload({3, 0, 2}, &rng).ok());
+}
+
+TEST(ChainWorkloadTest, SchemasFormAChain) {
+  Random rng(2);
+  Result<Workload> w = MakeChainWorkload({5, 40, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->defs.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(w->defs[i].schema.attribute(0).name,
+              "c" + std::to_string(i));
+    EXPECT_EQ(w->defs[i].schema.attribute(1).name,
+              "c" + std::to_string(i + 1));
+  }
+  // View joins on the 4 shared attributes.
+  EXPECT_EQ(w->view->equi_edges().size(), 4u);
+  EXPECT_EQ(w->view->output_schema().size(), 2u);
+}
+
+TEST(ChainWorkloadTest, JoinFactorsHoldOnEveryLink) {
+  Random rng(3);
+  Result<Workload> w = MakeChainWorkload({4, 60, 3}, &rng);
+  ASSERT_TRUE(w.ok());
+  // Every join attribute value occurs exactly J=3 times on each side.
+  for (int i = 1; i <= 4; ++i) {
+    const Relation* r = w->initial.Get("r" + std::to_string(i)).value();
+    for (int side = 0; side <= 1; ++side) {
+      // c0 and c4 are the uniform chain ends, not join attributes.
+      if ((i == 1 && side == 0) || (i == 4 && side == 1)) {
+        continue;
+      }
+      std::map<int64_t, int64_t> hist;
+      for (const auto& [t, c] : r->entries()) {
+        hist[t.value(side).AsInt()] += c;
+      }
+      for (const auto& [value, count] : hist) {
+        EXPECT_EQ(count, 3) << "r" << i << " side " << side << " value "
+                            << value;
+      }
+    }
+  }
+}
+
+TEST(ChainWorkloadTest, ThreeRelationChainMatchesExample6Shape) {
+  Random rng(4);
+  Result<Workload> chain = MakeChainWorkload({3, 100, 4}, &rng);
+  ASSERT_TRUE(chain.ok());
+  Result<Relation> v = EvaluateView(chain->view, chain->initial);
+  ASSERT_TRUE(v.ok());
+  // |V| ~ sigma * C * J^2 = 800.
+  EXPECT_GT(v->TotalPositive(), 500);
+  EXPECT_LT(v->TotalPositive(), 1100);
+}
+
+TEST(ChainWorkloadTest, IndexInventoryCoversBothProbeDirections) {
+  Random rng(5);
+  Result<Workload> w = MakeChainWorkload({4, 40, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  // r1: clustered c1; r2,r3: clustered left + non-clustered right;
+  // r4: clustered left only.
+  EXPECT_EQ(w->scenario1_indexes.size(), 1u + 2u + 2u + 1u);
+}
+
+class ChainSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainSweep, EcaStronglyConsistentOnLongChains) {
+  for (int n : {4, 5}) {
+    Random rng(GetParam());
+    Result<Workload> w = MakeChainWorkload({n, 20, 2}, &rng);
+    ASSERT_TRUE(w.ok());
+    Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 8, 0.3, &rng);
+    ASSERT_TRUE(updates.ok());
+    ConsistencyReport r =
+        RunRandomized(w->initial, w->view, Algorithm::kEca, *updates,
+                      GetParam() * 3 + n);
+    EXPECT_TRUE(r.strongly_consistent) << "n=" << n << ": " << r.ToString();
+  }
+}
+
+TEST_P(ChainSweep, LcaCompleteOnLongChains) {
+  Random rng(GetParam() + 500);
+  Result<Workload> w = MakeChainWorkload({4, 20, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 8, 0.3, &rng);
+  ASSERT_TRUE(updates.ok());
+  ConsistencyReport r = RunRandomized(w->initial, w->view, Algorithm::kLca,
+                                      *updates, GetParam() * 11);
+  EXPECT_TRUE(r.complete) << r.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(ChainWorkloadTest, PhysicalAnswersMatchLogicalOnLongChains) {
+  Random rng(6);
+  Result<Workload> w = MakeChainWorkload({5, 30, 3}, &rng);
+  ASSERT_TRUE(w.ok());
+  PhysicalConfig config;
+  config.tuples_per_block = 8;
+  Result<Source> source =
+      Source::Create(w->initial, config, w->scenario1_indexes);
+  ASSERT_TRUE(source.ok()) << source.status();
+
+  Term bound = *Term::FromView(w->view).Substitute(
+      Update::Insert("r3", Tuple::Ints({2, 4})));
+  Query q(1, 1, {Term::FromView(w->view), bound});
+  Result<AnswerMessage> physical = source->EvaluateQuery(q);
+  ASSERT_TRUE(physical.ok()) << physical.status();
+  Result<Relation> logical = EvaluateQuery(q, w->initial);
+  ASSERT_TRUE(logical.ok());
+  EXPECT_EQ(physical->Sum(), *logical);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,121 @@
+// Unit tests for the Section 3.1 correctness-level checker on synthetic
+// state sequences.
+#include "consistency/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+Relation Rel(std::initializer_list<int64_t> values) {
+  Relation r(Schema::Ints({"a"}));
+  for (int64_t v : values) {
+    r.Insert(Tuple::Ints({v}));
+  }
+  return r;
+}
+
+StateLog Log(std::vector<Relation> source, std::vector<Relation> warehouse) {
+  StateLog log;
+  log.source_view_states = std::move(source);
+  log.warehouse_view_states = std::move(warehouse);
+  return log;
+}
+
+TEST(CheckerTest, PerfectTrackingIsComplete) {
+  StateLog log = Log({Rel({}), Rel({1}), Rel({1, 2})},
+                     {Rel({}), Rel({1}), Rel({1, 2})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_TRUE(r.convergent);
+  EXPECT_TRUE(r.weakly_consistent);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_TRUE(r.strongly_consistent);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.violation.empty());
+}
+
+TEST(CheckerTest, SkippingStatesIsStrongButNotComplete) {
+  // The warehouse jumps straight to the final state: strong consistency
+  // holds, completeness does not (ss_1 never observed).
+  StateLog log = Log({Rel({}), Rel({1}), Rel({1, 2})},
+                     {Rel({}), Rel({}), Rel({1, 2})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_TRUE(r.strongly_consistent);
+  EXPECT_FALSE(r.complete);
+  EXPECT_NE(r.violation.find("not complete"), std::string::npos);
+}
+
+TEST(CheckerTest, ForeignStateBreaksWeakConsistency) {
+  StateLog log = Log({Rel({}), Rel({1})}, {Rel({}), Rel({7}), Rel({1})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_TRUE(r.convergent);
+  EXPECT_FALSE(r.weakly_consistent);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_FALSE(r.strongly_consistent);
+}
+
+TEST(CheckerTest, OutOfOrderStatesBreakConsistencyButNotWeak) {
+  // Warehouse shows ss_2 then regresses to ss_1: weakly consistent (both
+  // states exist) but not consistent (order violated).
+  StateLog log =
+      Log({Rel({}), Rel({1}), Rel({1, 2})},
+          {Rel({}), Rel({1, 2}), Rel({1}), Rel({1, 2})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_TRUE(r.weakly_consistent);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_NE(r.violation.find("order"), std::string::npos);
+}
+
+TEST(CheckerTest, StaleFinalStateBreaksConvergence) {
+  StateLog log = Log({Rel({}), Rel({1})}, {Rel({}), Rel({})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_FALSE(r.convergent);
+  EXPECT_TRUE(r.weakly_consistent);  // every state valid...
+  EXPECT_TRUE(r.consistent);         // ...and in order
+  EXPECT_FALSE(r.strongly_consistent);
+}
+
+TEST(CheckerTest, DuplicateSourceStatesMatchable) {
+  // The source passes through the same view state twice (insert/delete
+  // round trip); the warehouse may map to either occurrence.
+  StateLog log = Log({Rel({}), Rel({1}), Rel({}), Rel({2})},
+                     {Rel({}), Rel({1}), Rel({}), Rel({2})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_TRUE(r.strongly_consistent);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckerTest, ConsecutiveWarehouseDuplicatesIgnored) {
+  // Warehouse events that leave the view unchanged add no observable
+  // state.
+  StateLog log = Log({Rel({}), Rel({1})},
+                     {Rel({}), Rel({}), Rel({}), Rel({1}), Rel({1})});
+  ConsistencyReport r = CheckConsistency(log);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckerTest, EmptyExecutionReported) {
+  ConsistencyReport r = CheckConsistency(StateLog());
+  EXPECT_FALSE(r.convergent);
+  EXPECT_EQ(r.violation, "empty execution");
+}
+
+TEST(CheckerTest, DedupHelper) {
+  std::vector<Relation> states = {Rel({}), Rel({}), Rel({1}), Rel({1}),
+                                  Rel({})};
+  std::vector<Relation> deduped = StateLog::Dedup(states);
+  ASSERT_EQ(deduped.size(), 3u);
+  EXPECT_EQ(deduped[0], Rel({}));
+  EXPECT_EQ(deduped[1], Rel({1}));
+  EXPECT_EQ(deduped[2], Rel({}));
+}
+
+TEST(CheckerTest, ReportToStringListsAllLevels) {
+  StateLog log = Log({Rel({})}, {Rel({})});
+  std::string s = CheckConsistency(log).ToString();
+  EXPECT_NE(s.find("convergent=yes"), std::string::npos);
+  EXPECT_NE(s.find("complete=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,140 @@
+// Tests for the Appendix D closed forms, pinned to the numbers and
+// crossover points the paper's Figures 6.2-6.5 exhibit.
+#include "analytic/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm::analytic {
+namespace {
+
+Params Defaults() { return Params(); }  // Table 1: C=100,S=4,sigma=.5,J=4,K=20
+
+TEST(CostModelTest, DerivedBlockCounts) {
+  Params p = Defaults();
+  EXPECT_DOUBLE_EQ(p.I(), 5);        // ceil(100/20)
+  EXPECT_DOUBLE_EQ(p.Iprime(), 3);   // ceil(100/40)
+  p.C = 101;
+  EXPECT_DOUBLE_EQ(p.I(), 6);
+}
+
+TEST(CostModelTest, MessageCounts) {
+  // Section 6.1: RV sends 2*ceil(k/s); ECA always 2k.
+  EXPECT_EQ(MessagesRv(100, 100), 2);
+  EXPECT_EQ(MessagesRv(100, 1), 200);
+  EXPECT_EQ(MessagesRv(10, 3), 8);  // ceil(10/3)=4
+  EXPECT_EQ(MessagesEca(100), 200);
+}
+
+TEST(CostModelTest, ThreeUpdateByteFormulas) {
+  Params p = Defaults();
+  EXPECT_DOUBLE_EQ(BytesRvBest3(p), 4 * 0.5 * 100 * 16);   // 3200
+  EXPECT_DOUBLE_EQ(BytesRvWorst3(p), 3 * 3200);
+  EXPECT_DOUBLE_EQ(BytesEcaBest3(p), 3 * 4 * 0.5 * 16);    // 96
+  EXPECT_DOUBLE_EQ(BytesEcaWorst3(p), 3 * 4 * 0.5 * 4 * 5);  // 120
+}
+
+TEST(CostModelTest, FigureSixTwoEcaWinsExceptTinyRelations) {
+  // Figure 6.2's message: ECA beats RV unless relations are ~5 tuples.
+  Params p = Defaults();
+  for (double c : {6.0, 10.0, 20.0, 100.0}) {
+    p.C = c;
+    EXPECT_LT(BytesEcaWorst3(p), BytesRvBest3(p)) << "C=" << c;
+  }
+  // The exact crossover is C = 3(J+1)/J = 3.75 — "approximately 5 tuples"
+  // in the paper's reading of Figure 6.2.
+  p.C = 3;
+  EXPECT_GT(BytesEcaWorst3(p), BytesRvBest3(p));
+}
+
+TEST(CostModelTest, FigureSixThreeCrossovers) {
+  // Figure 6.3 (C=100): ECA-best crosses RV-best at exactly k=100; the
+  // ECA-worst crossing sits at k~30.
+  Params p = Defaults();
+  EXPECT_LT(BytesEcaBest(p, 99), BytesRvBest(p, 99));
+  EXPECT_DOUBLE_EQ(BytesEcaBest(p, 100), BytesRvBest(p, 100));
+  EXPECT_GT(BytesEcaBest(p, 101), BytesRvBest(p, 101));
+
+  EXPECT_LT(BytesEcaWorst(p, 29), BytesRvBest(p, 29));
+  EXPECT_GT(BytesEcaWorst(p, 31), BytesRvBest(p, 31));
+}
+
+TEST(CostModelTest, QuadraticCompensationCost) {
+  // The ECA worst case grows quadratically: doubling k more than doubles
+  // the bytes, and the quadratic part equals k(k-1)SsigmaJ/3.
+  Params p = Defaults();
+  const double linear = BytesEcaBest(p, 60);
+  const double worst = BytesEcaWorst(p, 60);
+  EXPECT_DOUBLE_EQ(worst - linear, 60 * 59 * 4 * 0.5 * 4 / 3.0);
+}
+
+TEST(CostModelTest, ThreeUpdateIoScenario1) {
+  Params p = Defaults();
+  EXPECT_DOUBLE_EQ(IoRvBest3S1(p), 15);
+  EXPECT_DOUBLE_EQ(IoRvWorst3S1(p), 45);
+  EXPECT_DOUBLE_EQ(IoEcaBest3S1(p), 15);   // 3min(4,5)+3
+  EXPECT_DOUBLE_EQ(IoEcaWorst3S1(p), 18);  // +3 compensating probes
+}
+
+TEST(CostModelTest, Scenario1UsesMinOfJAndI) {
+  Params p = Defaults();
+  p.J = 50;  // J > I: plans degrade to scans
+  EXPECT_DOUBLE_EQ(IoEcaBest3S1(p), 3 * 5 + 3);
+}
+
+TEST(CostModelTest, FigureSixFourCrossoverNearKEqualsThree) {
+  // Figure 6.4 (Scenario 1): RV-best (flat 3I=15) crosses ECA-best
+  // (k(J+1)=5k) at exactly k=3.
+  Params p = Defaults();
+  EXPECT_LT(IoEcaBestS1(p, 2), IoRvBestS1(p, 2));
+  EXPECT_DOUBLE_EQ(IoEcaBestS1(p, 3), IoRvBestS1(p, 3));
+  EXPECT_GT(IoEcaBestS1(p, 4), IoRvBestS1(p, 4));
+}
+
+TEST(CostModelTest, ThreeUpdateIoScenario2) {
+  Params p = Defaults();
+  EXPECT_DOUBLE_EQ(IoRvBest3S2(p), 125);   // I^3
+  EXPECT_DOUBLE_EQ(IoRvWorst3S2(p), 375);
+  EXPECT_DOUBLE_EQ(IoEcaBest3S2(p), 45);   // 3*I*I'
+  EXPECT_DOUBLE_EQ(IoEcaWorst3S2(p), 60);  // 3*I*(I'+1)
+}
+
+TEST(CostModelTest, FigureSixFiveCrossoverBetweenFiveAndEight) {
+  // Figure 6.5 (Scenario 2): the paper puts the ECA-worst vs RV-best
+  // crossover at 5 < k < 8.
+  Params p = Defaults();
+  EXPECT_LT(IoEcaWorstS2(p, 5), IoRvBestS2(p, 5));
+  EXPECT_GT(IoEcaWorstS2(p, 8), IoRvBestS2(p, 8));
+  // ECA-best crosses later: kII' = 15k vs I^3 = 125 at k between 8 and 9.
+  EXPECT_LT(IoEcaBestS2(p, 8), IoRvBestS2(p, 8));
+  EXPECT_GT(IoEcaBestS2(p, 9), IoRvBestS2(p, 9));
+}
+
+TEST(CostModelTest, WorstRvDominatesWorstEcaInPlottedRanges) {
+  // Section 6.2: "B_RVWorst is very expensive and always substantially
+  // worse than B_ECAWorst". Bytes hold across Figure 6.3's range (the
+  // curves would only cross near k~1189); Scenario 2 I/O holds across
+  // Figure 6.5's range k <= 11 (ECA's quadratic compensation would
+  // overtake RV-worst's linear growth only around k~67).
+  Params p = Defaults();
+  for (int64_t k = 1; k <= 120; ++k) {
+    EXPECT_GT(BytesRvWorst(p, k), BytesEcaWorst(p, k)) << k;
+  }
+  for (int64_t k = 1; k <= 11; ++k) {
+    EXPECT_GT(IoRvWorstS2(p, k), IoEcaWorstS2(p, k)) << k;
+  }
+}
+
+TEST(CostModelTest, OperationalRefinementsAddOuterReads) {
+  Params p = Defaults();
+  EXPECT_DOUBLE_EQ(IoRecomputeS2Operational(p), 5 + 25 + 125);
+  EXPECT_DOUBLE_EQ(IoTwoUnboundTermS2Operational(p), 5 + 15);
+}
+
+TEST(CostModelTest, ParamsToStringShowsDerived) {
+  std::string s = Defaults().ToString();
+  EXPECT_NE(s.find("I=5"), std::string::npos);
+  EXPECT_NE(s.find("I'=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wvm::analytic

@@ -1,0 +1,156 @@
+// Behavioral tests for ECA-Key beyond the Example 5 replay: locality of
+// deletes, duplicate suppression, inapplicability errors, and the
+// self-key-delete corner the Appendix C sketch glosses over.
+#include "core/eca_key.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+struct KeyedFixture {
+  Workload workload;
+
+  static KeyedFixture Make(int64_t c = 12, int64_t j = 3) {
+    Random rng(7);
+    Result<Workload> w = MakeKeyedWorkload({c, j}, &rng);
+    EXPECT_TRUE(w.ok());
+    return KeyedFixture{std::move(*w)};
+  }
+};
+
+TEST(EcaKeyTest, InapplicableWithoutKeysInView) {
+  Result<PaperExample> ex = MakePaperExample2();  // unkeyed schemas
+  ASSERT_TRUE(ex.ok());
+  EcaKey maintainer(ex->view);
+  EXPECT_EQ(maintainer.Initialize(ex->initial).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EcaKeyTest, DeletesNeverQueryTheSource) {
+  KeyedFixture f = KeyedFixture::Make();
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(f.workload.initial, f.workload.view, Algorithm::kEcaKey);
+  sim->SetUpdateScript({Update::Delete("r1", Tuple::Ints({0, 0})),
+                        Update::Delete("r2", Tuple::Ints({0, 0}))});
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_EQ(sim->meter().query_messages(), 0);
+  Result<Relation> expected = sim->SourceViewNow();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+}
+
+TEST(EcaKeyTest, InsertQueriesCarryNoCompensation) {
+  // Two concurrent inserts: both queries must stay single-term.
+  KeyedFixture f = KeyedFixture::Make();
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(f.workload.initial, f.workload.view, Algorithm::kEcaKey);
+  sim->SetUpdateScript({Update::Insert("r1", Tuple::Ints({50, 1})),
+                        Update::Insert("r1", Tuple::Ints({51, 1}))});
+  WorstCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_EQ(sim->meter().query_messages(), 2);
+  EXPECT_EQ(sim->meter().query_terms(), 2);  // 1 term each, unlike ECA
+  Result<Relation> expected = sim->SourceViewNow();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+}
+
+TEST(EcaKeyTest, DuplicateAnswerTuplesSuppressed) {
+  // Insert r1 tuple then insert a joining r2 tuple: the r1 query evaluated
+  // late sees the new r2 tuple too, producing the same view tuple as the
+  // r2 query — it must be added once.
+  KeyedFixture f = KeyedFixture::Make();
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(f.workload.initial, f.workload.view, Algorithm::kEcaKey);
+  sim->SetUpdateScript({Update::Insert("r1", Tuple::Ints({50, 9})),
+                        Update::Insert("r2", Tuple::Ints({9, 60}))});
+  WorstCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  Result<Relation> expected = sim->SourceViewNow();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({50, 60})), 1);
+}
+
+TEST(EcaKeyTest, InsertThenDeleteOfSameTupleLeavesNoZombie) {
+  // The corner the Appendix C sketch misses: the delete removes the very
+  // tuple the pending insert query binds, so the late answer re-offers the
+  // deleted key and must be suppressed via the key-delete log.
+  KeyedFixture f = KeyedFixture::Make();
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(f.workload.initial, f.workload.view, Algorithm::kEcaKey);
+  sim->SetUpdateScript({Update::Insert("r1", Tuple::Ints({50, 1})),
+                        Update::Delete("r1", Tuple::Ints({50, 1}))});
+  // Adversarial order: both updates reach the warehouse before the insert
+  // query is answered.
+  WorstCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  Result<Relation> expected = sim->SourceViewNow();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+  // No [50, *] tuples survive.
+  for (const auto& [t, c] : sim->warehouse_view().entries()) {
+    (void)c;
+    EXPECT_NE(t.value(0), Value(int64_t{50})) << t.ToString();
+  }
+}
+
+TEST(EcaKeyTest, ReinsertedKeyAfterDeleteSurvives) {
+  // Delete key 3, then insert a new tuple with key 30 joining the same X:
+  // suppression must not eat legitimately newer tuples.
+  KeyedFixture f = KeyedFixture::Make();
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(f.workload.initial, f.workload.view, Algorithm::kEcaKey);
+  sim->SetUpdateScript({Update::Insert("r1", Tuple::Ints({50, 2})),
+                        Update::Delete("r1", Tuple::Ints({50, 2})),
+                        Update::Insert("r1", Tuple::Ints({51, 2}))});
+  WorstCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  Result<Relation> expected = sim->SourceViewNow();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+  // Key 51 joined J tuples and is present.
+  int64_t with_51 = 0;
+  for (const auto& [t, c] : sim->warehouse_view().entries()) {
+    (void)c;
+    if (t.value(0) == Value(int64_t{51})) {
+      ++with_51;
+    }
+  }
+  EXPECT_GT(with_51, 0);
+}
+
+TEST(EcaKeyTest, ViewInstalledOnlyWhenUqsEmpty) {
+  KeyedFixture f = KeyedFixture::Make();
+  auto maintainer = std::make_unique<EcaKey>(f.workload.view);
+  EcaKey* eca_key = maintainer.get();
+  Result<std::unique_ptr<Simulation>> sim =
+      Simulation::Create(f.workload.initial, f.workload.view,
+                         std::move(maintainer), SimulationOptions());
+  ASSERT_TRUE(sim.ok());
+  (*sim)->SetUpdateScript({Update::Insert("r1", Tuple::Ints({50, 1})),
+                           Update::Delete("r2", Tuple::Ints({0, 0}))});
+  // Insert processed, query pending.
+  ASSERT_TRUE((*sim)->StepSourceUpdate().ok());
+  ASSERT_TRUE((*sim)->StepWarehouse().ok());
+  // Delete processed locally while the query is pending: COLLECT moves,
+  // MV must not.
+  ASSERT_TRUE((*sim)->StepSourceUpdate().ok());
+  ASSERT_TRUE((*sim)->StepWarehouse().ok());
+  EXPECT_NE(eca_key->collect(), (*sim)->warehouse_view());
+  // Answer arrives: install.
+  ASSERT_TRUE((*sim)->StepSourceAnswer().ok());
+  ASSERT_TRUE((*sim)->StepWarehouse().ok());
+  EXPECT_EQ(eca_key->collect(), (*sim)->warehouse_view());
+  Result<Relation> expected = (*sim)->SourceViewNow();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ((*sim)->warehouse_view(), *expected);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,156 @@
+// Tests for the SC-enhanced ECA (Section 6's "SC can be seen as an
+// enhancement to any of our algorithms"): the storage/traffic tradeoff and
+// the exactness of locally bound deltas.
+#include "core/eca_sc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+struct HybridFixture {
+  Workload workload;
+  std::vector<Update> updates;
+
+  static HybridFixture Make(uint64_t seed, int64_t k = 10) {
+    Random rng(seed);
+    Result<Workload> w = MakeExample6Workload({16, 2}, &rng);
+    EXPECT_TRUE(w.ok());
+    Result<std::vector<Update>> updates = MakeMixedUpdates(*w, k, 0.35, &rng);
+    EXPECT_TRUE(updates.ok());
+    return HybridFixture{std::move(*w), std::move(*updates)};
+  }
+};
+
+std::unique_ptr<Simulation> MakeHybridSim(const HybridFixture& f,
+                                          std::set<std::string> replicated,
+                                          EcaSc** out = nullptr) {
+  auto maintainer =
+      std::make_unique<EcaSc>(f.workload.view, std::move(replicated));
+  if (out != nullptr) {
+    *out = maintainer.get();
+  }
+  Result<std::unique_ptr<Simulation>> sim =
+      Simulation::Create(f.workload.initial, f.workload.view,
+                         std::move(maintainer), SimulationOptions());
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  return std::move(*sim);
+}
+
+TEST(EcaScTest, InitializeRejectsUnknownReplicas) {
+  HybridFixture f = HybridFixture::Make(1);
+  EcaSc maintainer(f.workload.view, {"r9"});
+  EXPECT_FALSE(maintainer.Initialize(f.workload.initial).ok());
+}
+
+TEST(EcaScTest, AllReplicatedBehavesLikeSc) {
+  HybridFixture f = HybridFixture::Make(2);
+  std::unique_ptr<Simulation> sim =
+      MakeHybridSim(f, {"r1", "r2", "r3"});
+  sim->SetUpdateScript(f.updates);
+  RandomPolicy policy(2);
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_EQ(sim->meter().query_messages(), 0);  // everything local
+  Result<Relation> expected = sim->SourceViewNow();
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+  ConsistencyReport report = CheckConsistency(sim->state_log());
+  EXPECT_TRUE(report.strongly_consistent) << report.ToString();
+}
+
+TEST(EcaScTest, NoneReplicatedBehavesLikeEca) {
+  HybridFixture f = HybridFixture::Make(3);
+  std::unique_ptr<Simulation> hybrid = MakeHybridSim(f, {});
+  std::unique_ptr<Simulation> plain =
+      MustMakeSim(f.workload.initial, f.workload.view, Algorithm::kEca);
+  for (auto* sim : {hybrid.get(), plain.get()}) {
+    sim->SetUpdateScript(f.updates);
+    WorstCasePolicy policy;
+    ASSERT_TRUE(RunToQuiescence(sim, &policy).ok());
+  }
+  EXPECT_EQ(hybrid->meter().query_messages(),
+            plain->meter().query_messages());
+  EXPECT_EQ(hybrid->warehouse_view(), plain->warehouse_view());
+}
+
+TEST(EcaScTest, DimensionReplicationMakesFactUpdatesCheaper) {
+  // Replicating r2 and r3 makes every r1 update fully local; only r2/r3
+  // updates still query the source (with the r1 position left unbound
+  // being the only remote one... here r1 is remote so they query).
+  HybridFixture f = HybridFixture::Make(4);
+  EcaSc* maintainer = nullptr;
+  std::unique_ptr<Simulation> sim =
+      MakeHybridSim(f, {"r2", "r3"}, &maintainer);
+  sim->SetUpdateScript(f.updates);
+  RandomPolicy policy(4);
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+
+  int64_t r1_updates = 0;
+  for (const Update& u : f.updates) {
+    r1_updates += u.relation == "r1";
+  }
+  // Only non-r1 updates produce queries.
+  EXPECT_EQ(sim->meter().query_messages(),
+            static_cast<int64_t>(f.updates.size()) - r1_updates);
+  Result<Relation> expected = sim->SourceViewNow();
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+  EXPECT_GT(maintainer->ReplicaTupleCount(), 0);
+}
+
+TEST(EcaScTest, ReplicasTrackSourceState) {
+  HybridFixture f = HybridFixture::Make(5);
+  EcaSc* maintainer = nullptr;
+  std::unique_ptr<Simulation> sim = MakeHybridSim(f, {"r2"}, &maintainer);
+  sim->SetUpdateScript(f.updates);
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_EQ(*maintainer->replicas().Get("r2").value(),
+            *sim->source_catalog().Get("r2").value());
+}
+
+class EcaScSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EcaScSweep, StronglyConsistentForEveryReplicationChoice) {
+  HybridFixture f = HybridFixture::Make(GetParam());
+  for (const std::set<std::string>& replicated :
+       {std::set<std::string>{}, {"r1"}, {"r2"}, {"r1", "r3"},
+        {"r2", "r3"}, {"r1", "r2", "r3"}}) {
+    std::unique_ptr<Simulation> sim = MakeHybridSim(f, replicated);
+    sim->SetUpdateScript(f.updates);
+    RandomPolicy policy(GetParam() * 131);
+    ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    ConsistencyReport report = CheckConsistency(sim->state_log());
+    EXPECT_TRUE(report.strongly_consistent)
+        << "replicated={" << Join(std::vector<std::string>(
+                                      replicated.begin(), replicated.end()),
+                                  ",")
+        << "}: " << report.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcaScSweep,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(EcaScTest, BindJoinPrunesWithEquiConstraints) {
+  // An update to r3 binds position 3; binding replicated r2 must only
+  // produce terms whose r2 rows join the bound Y value — J terms, not |r2|.
+  HybridFixture f = HybridFixture::Make(6);
+  EcaSc* maintainer = nullptr;
+  std::unique_ptr<Simulation> sim = MakeHybridSim(f, {"r2"}, &maintainer);
+  // One insert into r3 with an in-domain Y.
+  sim->SetUpdateScript({Update::Insert("r3", Tuple::Ints({1, 3}))});
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  // The sent query binds r3 (the update) and r2 (bind-join, J=2 rows):
+  // 2 terms, each leaving only r1 unbound.
+  EXPECT_EQ(sim->meter().query_messages(), 1);
+  EXPECT_EQ(sim->meter().query_terms(), 2);
+  Result<Relation> expected = sim->SourceViewNow();
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,172 @@
+// Edge-case sweep across thinner corners of the public API: policies,
+// deferred staleness semantics, typed columns end-to-end, printing caps,
+// and simulation bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/deferred.h"
+#include "core/eca.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+TEST(PolicyEdgeTest, ScriptedPolicyFallsBackToBestCaseDrain) {
+  Result<PaperExample> ex = MakePaperExample2();
+  ASSERT_TRUE(ex.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(ex->initial, ex->view, Algorithm::kEca);
+  sim->SetUpdateScript(ex->updates);
+  // Script only the first two actions; the fallback must finish the run.
+  ScriptedPolicy policy({SimAction::kSourceUpdate, SimAction::kWarehouseStep});
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_TRUE(sim->Quiescent());
+  Result<Relation> expected = sim->SourceViewNow();
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+}
+
+TEST(PolicyEdgeTest, PoliciesReturnNoneAtQuiescence) {
+  Result<PaperExample> ex = MakePaperExample1();
+  ASSERT_TRUE(ex.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(ex->initial, ex->view, Algorithm::kEca);
+  // No script: quiescent immediately.
+  BestCasePolicy best;
+  WorstCasePolicy worst;
+  RandomPolicy random(1);
+  EXPECT_EQ(best.Next(*sim), SimAction::kNone);
+  EXPECT_EQ(worst.Next(*sim), SimAction::kNone);
+  EXPECT_EQ(random.Next(*sim), SimAction::kNone);
+}
+
+TEST(DeferredEdgeTest, NonDivisibleThresholdLeavesDocumentedStaleness) {
+  // 5 updates, flush every 3: one flush happens, two updates stay
+  // buffered — stale but consistent, like RV with a non-dividing period.
+  Random rng(8);
+  Result<Workload> w = MakeExample6Workload({16, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 5, 0.3, &rng);
+  ASSERT_TRUE(updates.ok());
+  auto deferred_owner = std::make_unique<Deferred>(
+      std::make_unique<Eca>(w->view), /*threshold=*/3);
+  Deferred* deferred = deferred_owner.get();
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      w->initial, w->view, std::move(deferred_owner), SimulationOptions());
+  ASSERT_TRUE(sim.ok());
+  (*sim)->SetUpdateScript(*updates);
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim->get(), &policy).ok());
+  EXPECT_EQ(deferred->buffered(), 2u);
+  EXPECT_FALSE(deferred->IsQuiescent());
+  ConsistencyReport report = CheckConsistency((*sim)->state_log());
+  EXPECT_TRUE(report.consistent) << report.ToString();
+  EXPECT_FALSE(report.convergent);  // the price of deferral without a read
+}
+
+TEST(TypedColumnsTest, DoubleColumnsThroughTheFullPipeline) {
+  Schema readings({{"sensor", ValueType::kInt, false},
+                   {"value", ValueType::kDouble, false}});
+  Schema sensors({{"sensor", ValueType::kInt, false},
+                  {"threshold", ValueType::kDouble, false}});
+  Catalog initial;
+  Relation r1(readings);
+  r1.Insert(Tuple({Value(int64_t{1}), Value(3.5)}));
+  r1.Insert(Tuple({Value(int64_t{2}), Value(0.5)}));
+  Relation r2(sensors);
+  r2.Insert(Tuple({Value(int64_t{1}), Value(1.0)}));
+  r2.Insert(Tuple({Value(int64_t{2}), Value(1.0)}));
+  ASSERT_TRUE(initial.DefineWithData({"readings", readings}, r1).ok());
+  ASSERT_TRUE(initial.DefineWithData({"sensors", sensors}, r2).ok());
+
+  // Alerts: readings above their sensor's threshold.
+  Result<ViewDefinitionPtr> view = ViewDefinition::NaturalJoin(
+      "alerts", {{"readings", readings}, {"sensors", sensors}},
+      {"sensor", "value"},
+      Predicate::AttrCompare("value", CompareOp::kGt, "threshold"));
+  ASSERT_TRUE(view.ok()) << view.status();
+
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(initial, *view, Algorithm::kEca);
+  EXPECT_EQ(sim->warehouse_view().TotalPositive(), 1);  // only sensor 1
+
+  sim->SetUpdateScript(
+      {Update::Insert("readings", Tuple({Value(int64_t{2}), Value(9.5)})),
+       Update::Delete("readings", Tuple({Value(int64_t{1}), Value(3.5)}))});
+  RandomPolicy policy(8);
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  Result<Relation> expected = sim->SourceViewNow();
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+  EXPECT_EQ(sim->warehouse_view().CountOf(
+                Tuple({Value(int64_t{2}), Value(9.5)})),
+            1);
+}
+
+TEST(PrintingTest, RelationToStringCapsHugeMultiplicities) {
+  Relation r(Schema::Ints({"a"}));
+  r.Insert(Tuple::Ints({1}), 1000);
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("x1000"), std::string::npos);
+  EXPECT_LT(s.size(), 400u);  // capped, not a thousand copies
+}
+
+TEST(SimulationEdgeTest, UpdatesRemainingTracksBatchedScripts) {
+  Result<PaperExample> ex = MakePaperExample4();
+  ASSERT_TRUE(ex.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(ex->initial, ex->view, Algorithm::kEca);
+  sim->SetUpdateScriptBatches({{ex->updates[0], ex->updates[1]},
+                               {ex->updates[2]}});
+  EXPECT_EQ(sim->updates_remaining(), 3u);
+  ASSERT_TRUE(sim->StepSourceUpdate().ok());
+  EXPECT_EQ(sim->updates_remaining(), 1u);
+  ASSERT_TRUE(sim->StepSourceUpdate().ok());
+  EXPECT_EQ(sim->updates_remaining(), 0u);
+  EXPECT_FALSE(sim->CanSourceUpdate());
+}
+
+TEST(SchemaEdgeTest, ProjectionMayRepeatColumns) {
+  Schema s = Schema::Ints({"W", "X"});
+  Schema p = s.Project({1, 1, 0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.attribute(0).name, "X");
+  EXPECT_EQ(p.attribute(2).name, "W");
+}
+
+TEST(EcaEdgeTest, EmptyScriptIsImmediatelyQuiescent) {
+  Result<PaperExample> ex = MakePaperExample1();
+  ASSERT_TRUE(ex.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(ex->initial, ex->view, Algorithm::kEca);
+  EXPECT_TRUE(sim->Quiescent());
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_EQ(sim->meter().messages(), 0);
+  Result<Relation> expected = sim->SourceViewNow();
+  EXPECT_EQ(sim->warehouse_view(), *expected);
+}
+
+TEST(ViewEdgeTest, ConstantOnlyConditionViews) {
+  // sigma over constants only: a view that is either everything or
+  // nothing; maintenance must respect it.
+  Schema s1 = Schema::Ints({"W", "X"});
+  Catalog initial;
+  ASSERT_TRUE(initial
+                  .DefineWithData({"r1", s1},
+                                  Relation::FromTuples(
+                                      s1, {Tuple::Ints({1, 2})}))
+                  .ok());
+  Result<ViewDefinitionPtr> never = ViewDefinition::Create(
+      "never", {{"r1", s1}}, {"W"},
+      Predicate::Compare(Operand::ConstInt(1), CompareOp::kGt,
+                         Operand::ConstInt(2)));
+  ASSERT_TRUE(never.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(initial, *never, Algorithm::kEca);
+  sim->SetUpdateScript({Update::Insert("r1", Tuple::Ints({5, 5}))});
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_TRUE(sim->warehouse_view().IsEmpty());
+}
+
+}  // namespace
+}  // namespace wvm

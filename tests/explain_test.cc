@@ -1,0 +1,175 @@
+// Tests for the plan log (EXPLAIN of the physical plans): the recorded
+// steps must be the exact access paths Appendix D derives, and a
+// COUNT(*)-group-by corollary of the duplicate-retention design.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "query/evaluator.h"
+#include "source/source.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+struct ExplainFixture {
+  Workload workload;
+  Source source;
+
+  static ExplainFixture Make(PhysicalScenario scenario) {
+    Random rng(42);
+    Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+    EXPECT_TRUE(w.ok());
+    PhysicalConfig config;
+    config.scenario = scenario;
+    std::vector<IndexSpec> indexes =
+        scenario == PhysicalScenario::kIndexedMemory
+            ? w->scenario1_indexes
+            : std::vector<IndexSpec>{};
+    Result<Source> source = Source::Create(w->initial, config, indexes);
+    EXPECT_TRUE(source.ok());
+    return ExplainFixture{std::move(*w), std::move(*source)};
+  }
+
+  std::vector<std::string> Explain(const Term& t) {
+    IOStats io;
+    io.record_plans = true;
+    Result<Relation> r = EvaluateTermPhysical(t, source.storage(),
+                                              source.config(), &io);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return io.plan_log;
+  }
+};
+
+TEST(ExplainTest, Q1PlanMatchesAppendixD) {
+  // pi(t1 |x| r2 |x| r3): clustered X probe into r2, then Y probes into r3.
+  ExplainFixture f = ExplainFixture::Make(PhysicalScenario::kIndexedMemory);
+  Term t = *Term::FromView(f.workload.view)
+                .Substitute(Update::Insert("r1", Tuple::Ints({42, 3})));
+  std::vector<std::string> plan = f.Explain(t);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_NE(plan[0].find("probe r2.X (clustered index)"), std::string::npos)
+      << plan[0];
+  EXPECT_NE(plan[1].find("probe r3.Y (clustered index)"), std::string::npos)
+      << plan[1];
+}
+
+TEST(ExplainTest, Q3PlanUsesTheNonClusteredIndex) {
+  // pi(r1 |x| r2 |x| t3): non-clustered Y probe into r2, then X into r1.
+  ExplainFixture f = ExplainFixture::Make(PhysicalScenario::kIndexedMemory);
+  Term t = *Term::FromView(f.workload.view)
+                .Substitute(Update::Insert("r3", Tuple::Ints({7, 5})));
+  std::vector<std::string> plan = f.Explain(t);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_NE(plan[0].find("probe r2.Y (non-clustered index)"),
+            std::string::npos)
+      << plan[0];
+  EXPECT_NE(plan[1].find("probe r1.X (clustered index)"), std::string::npos)
+      << plan[1];
+}
+
+TEST(ExplainTest, RecomputationReadsEverythingOnce) {
+  ExplainFixture f = ExplainFixture::Make(PhysicalScenario::kIndexedMemory);
+  std::vector<std::string> plan =
+      f.Explain(Term::FromView(f.workload.view));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_NE(plan[0].find("recompute"), std::string::npos);
+}
+
+TEST(ExplainTest, Scenario2UsesBlockedNestedLoops) {
+  ExplainFixture f =
+      ExplainFixture::Make(PhysicalScenario::kNestedLoopLimited);
+  Term t = *Term::FromView(f.workload.view)
+                .Substitute(Update::Insert("r1", Tuple::Ints({42, 3})));
+  std::vector<std::string> plan = f.Explain(t);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_NE(plan[0].find("blocked nested loop over 2 unbound relations"),
+            std::string::npos)
+      << plan[0];
+}
+
+TEST(ExplainTest, PlanLogOffByDefault) {
+  ExplainFixture f = ExplainFixture::Make(PhysicalScenario::kIndexedMemory);
+  IOStats io;
+  Term t = Term::FromView(f.workload.view);
+  ASSERT_TRUE(
+      EvaluateTermPhysical(t, f.source.storage(), f.source.config(), &io)
+          .ok());
+  EXPECT_TRUE(io.plan_log.empty());
+}
+
+// --- COUNT(*) GROUP BY as a corollary of duplicate retention ----------------
+
+TEST(CountViewTest, MultiplicityIsTheGroupCount) {
+  // The paper retains duplicates because deletions need them (Section 1.1,
+  // citing the counting approach of [GMS93]). A corollary: a view that
+  // projects the grouping columns IS a COUNT(*) GROUP BY — the Z-relation
+  // multiplicity is the count, and every maintenance algorithm keeps it
+  // incrementally correct.
+  Schema sales = Schema::Ints({"sale", "region"});
+  Catalog initial;
+  ASSERT_TRUE(initial
+                  .DefineWithData({"sales", sales},
+                                  Relation::FromTuples(
+                                      sales, {Tuple::Ints({1, 7}),
+                                              Tuple::Ints({2, 7}),
+                                              Tuple::Ints({3, 8})}))
+                  .ok());
+  Result<ViewDefinitionPtr> view =
+      ViewDefinition::Create("per_region", {{"sales", sales}}, {"region"},
+                             Predicate());
+  ASSERT_TRUE(view.ok());
+
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(initial, *view, Algorithm::kEca);
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({7})), 2);
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({8})), 1);
+
+  sim->SetUpdateScript({Update::Insert("sales", Tuple::Ints({4, 8})),
+                        Update::Delete("sales", Tuple::Ints({1, 7})),
+                        Update::Insert("sales", Tuple::Ints({5, 8}))});
+  RandomPolicy policy(3);
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({7})), 1);
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({8})), 3);
+  EXPECT_TRUE(CheckConsistency(sim->state_log()).strongly_consistent);
+}
+
+TEST(CountViewTest, JoinCountViewUnderConcurrency) {
+  // COUNT(*) per region over a join: pi_{region}(accounts |x| customers).
+  Schema accounts = Schema::Ints({"acct", "cust"});
+  Schema customers = Schema::Ints({"cust", "region"});
+  Catalog initial;
+  ASSERT_TRUE(initial
+                  .DefineWithData({"accounts", accounts},
+                                  Relation::FromTuples(
+                                      accounts, {Tuple::Ints({100, 1}),
+                                                 Tuple::Ints({101, 1}),
+                                                 Tuple::Ints({102, 2})}))
+                  .ok());
+  ASSERT_TRUE(initial
+                  .DefineWithData({"customers", customers},
+                                  Relation::FromTuples(
+                                      customers, {Tuple::Ints({1, 7}),
+                                                  Tuple::Ints({2, 8})}))
+                  .ok());
+  Result<ViewDefinitionPtr> view = ViewDefinition::NaturalJoin(
+      "accts_per_region",
+      {{"accounts", accounts}, {"customers", customers}}, {"region"});
+  ASSERT_TRUE(view.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(initial, *view, Algorithm::kEca);
+  sim->SetUpdateScript({Update::Insert("accounts", Tuple::Ints({103, 2})),
+                        Update::Delete("customers", Tuple::Ints({1, 7})),
+                        Update::Insert("customers", Tuple::Ints({1, 8}))});
+  WorstCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  // Region 7 lost its customer; region 8 now has cust 1 (2 accounts) and
+  // cust 2 (2 accounts) = 4.
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({7})), 0);
+  EXPECT_EQ(sim->warehouse_view().CountOf(Tuple::Ints({8})), 4);
+  EXPECT_TRUE(CheckConsistency(sim->state_log()).strongly_consistent);
+}
+
+}  // namespace
+}  // namespace wvm

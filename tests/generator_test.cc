@@ -1,0 +1,205 @@
+// Tests that generated workloads actually exhibit the Table 1 parameters:
+// cardinality C, join factor J, selectivity ~sigma, and valid update
+// streams.
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "query/evaluator.h"
+
+namespace wvm {
+namespace {
+
+// Count occurrences of each value of `attr` in relation `name`.
+std::map<int64_t, int64_t> ValueHistogram(const Workload& w,
+                                          const std::string& name,
+                                          const std::string& attr) {
+  const Relation* r = w.initial.Get(name).value();
+  size_t col = *r->schema().IndexOf(attr);
+  std::map<int64_t, int64_t> hist;
+  for (const auto& [t, c] : r->entries()) {
+    hist[t.value(col).AsInt()] += c;
+  }
+  return hist;
+}
+
+TEST(GeneratorTest, Example6Cardinality) {
+  Random rng(1);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  for (const char* name : {"r1", "r2", "r3"}) {
+    EXPECT_EQ(w->initial.Get(name).value()->TotalPositive(), 100) << name;
+  }
+}
+
+TEST(GeneratorTest, Example6JoinFactors) {
+  Random rng(2);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  // Every join-attribute value occurs exactly J = 4 times.
+  for (const auto& [rel, attr] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"r1", "X"}, {"r2", "X"}, {"r2", "Y"}, {"r3", "Y"}}) {
+    for (const auto& [value, count] : ValueHistogram(*w, rel, attr)) {
+      EXPECT_EQ(count, 4) << rel << "." << attr << "=" << value;
+    }
+  }
+}
+
+TEST(GeneratorTest, Example6JoinAttributesDecorrelated) {
+  // The J r2-tuples sharing an X value must carry J distinct Y values;
+  // the Scenario 1 I/O analysis (1 probe per r2 match) depends on it.
+  Random rng(3);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  const Relation* r2 = w->initial.Get("r2").value();
+  std::map<int64_t, std::set<int64_t>> ys_per_x;
+  for (const auto& [t, c] : r2->entries()) {
+    (void)c;
+    ys_per_x[t.value(0).AsInt()].insert(t.value(1).AsInt());
+  }
+  for (const auto& [x, ys] : ys_per_x) {
+    EXPECT_EQ(ys.size(), 4u) << "X=" << x;
+  }
+}
+
+TEST(GeneratorTest, Example6SelectivityNearHalf) {
+  Random rng(4);
+  Result<Workload> w = MakeExample6Workload({200, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  // Evaluate the joined relation with and without the W>Z condition.
+  Result<ViewDefinitionPtr> unfiltered = ViewDefinition::NaturalJoin(
+      "Vall", w->defs, {"W", "Z"});
+  ASSERT_TRUE(unfiltered.ok());
+  Result<Relation> all = EvaluateView(*unfiltered, w->initial);
+  Result<Relation> filtered = EvaluateView(w->view, w->initial);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok());
+  const double sigma = static_cast<double>(filtered->TotalPositive()) /
+                       static_cast<double>(all->TotalPositive());
+  EXPECT_GT(sigma, 0.35);
+  EXPECT_LT(sigma, 0.65);
+}
+
+TEST(GeneratorTest, Example6ViewShape) {
+  Random rng(5);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  // |V| ~ sigma * C * J^2 = 800 at sigma=1/2.
+  Result<Relation> v = EvaluateView(w->view, w->initial);
+  ASSERT_TRUE(v.ok());
+  EXPECT_GT(v->TotalPositive(), 500);
+  EXPECT_LT(v->TotalPositive(), 1100);
+}
+
+TEST(GeneratorTest, RoundRobinInsertsCycleRelations) {
+  Random rng(6);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeRoundRobinInserts(*w, 9, &rng);
+  ASSERT_TRUE(updates.ok());
+  ASSERT_EQ(updates->size(), 9u);
+  for (size_t i = 0; i < updates->size(); ++i) {
+    EXPECT_EQ((*updates)[i].kind, UpdateKind::kInsert);
+    EXPECT_EQ((*updates)[i].relation,
+              w->defs[i % 3].name);
+  }
+}
+
+TEST(GeneratorTest, RoundRobinInsertsJoinTheExistingData) {
+  // New tuples must draw join attributes from the live domain so answers
+  // have the expected ~sigma*J^2 size.
+  Random rng(7);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeRoundRobinInserts(*w, 30, &rng);
+  ASSERT_TRUE(updates.ok());
+  int64_t matched = 0;
+  for (const Update& u : *updates) {
+    if (u.relation != "r1") {
+      continue;
+    }
+    std::optional<Term> t = Term::FromView(w->view).Substitute(u);
+    ASSERT_TRUE(t.has_value());
+    Result<Relation> r = EvaluateTerm(*t, w->initial);
+    ASSERT_TRUE(r.ok());
+    matched += r->TotalAbsolute();
+  }
+  // 10 r1-inserts x sigma*J^2 = 8 expected tuples each.
+  EXPECT_GT(matched, 30);
+}
+
+TEST(GeneratorTest, MixedUpdatesAreAlwaysValid) {
+  Random rng(8);
+  Result<Workload> w = MakeExample6Workload({30, 3}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 50, 0.5, &rng);
+  ASSERT_TRUE(updates.ok());
+  Catalog state = w->initial.Clone();
+  int64_t deletes = 0;
+  for (const Update& u : *updates) {
+    EXPECT_TRUE(state.Apply(u).ok()) << u.ToString();
+    if (u.kind == UpdateKind::kDelete) {
+      ++deletes;
+    }
+  }
+  EXPECT_GT(deletes, 5);  // the delete fraction actually bites
+}
+
+TEST(GeneratorTest, KeyedWorkloadHasUniqueKeys) {
+  Random rng(9);
+  Result<Workload> w = MakeKeyedWorkload({50, 5}, &rng);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->view->HasAllBaseKeys());
+  for (const auto& [value, count] : ValueHistogram(*w, "r1", "W")) {
+    EXPECT_EQ(count, 1) << "W=" << value;
+  }
+  for (const auto& [value, count] : ValueHistogram(*w, "r2", "Y")) {
+    EXPECT_EQ(count, 1) << "Y=" << value;
+  }
+}
+
+TEST(GeneratorTest, KeyedInsertsUseFreshKeys) {
+  Random rng(10);
+  Result<Workload> w = MakeKeyedWorkload({20, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 30, 0.2, &rng);
+  ASSERT_TRUE(updates.ok());
+  Catalog state = w->initial.Clone();
+  for (const Update& u : *updates) {
+    ASSERT_TRUE(state.Apply(u).ok()) << u.ToString();
+  }
+  // Keys stay unique after the whole stream.
+  const Relation* r1 = state.Get("r1").value();
+  std::set<int64_t> seen;
+  for (const auto& [t, c] : r1->entries()) {
+    EXPECT_EQ(c, 1);
+    EXPECT_TRUE(seen.insert(t.value(0).AsInt()).second)
+        << "duplicate key " << t.ToString();
+  }
+}
+
+TEST(GeneratorTest, RejectsDegenerateParameters) {
+  Random rng(11);
+  EXPECT_FALSE(MakeExample6Workload({0, 4}, &rng).ok());
+  EXPECT_FALSE(MakeExample6Workload({10, 0}, &rng).ok());
+  EXPECT_FALSE(MakeKeyedWorkload({0, 1}, &rng).ok());
+}
+
+TEST(GeneratorTest, Scenario1IndexInventoryMatchesPaper) {
+  Random rng(12);
+  Result<Workload> w = MakeExample6Workload({100, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->scenario1_indexes.size(), 4u);
+  EXPECT_EQ(w->scenario1_indexes[0].relation, "r1");
+  EXPECT_TRUE(w->scenario1_indexes[0].clustered);
+  EXPECT_EQ(w->scenario1_indexes[3].relation, "r2");
+  EXPECT_EQ(w->scenario1_indexes[3].attribute, "Y");
+  EXPECT_FALSE(w->scenario1_indexes[3].clustered);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,247 @@
+// Integration tests tying the full simulation (source storage + channels +
+// algorithms) to the Appendix D analysis: measured messages, bytes and I/O
+// under the best-case and worst-case interleavings must land on (or within
+// a modeled tolerance of) the closed forms behind Figures 6.2-6.5.
+#include <gtest/gtest.h>
+
+#include "analytic/cost_model.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+struct RunResult {
+  int64_t messages;
+  int64_t bytes;
+  int64_t io;
+};
+
+// Runs `algorithm` over the Example 6 workload with k round-robin inserts.
+RunResult RunCase(Algorithm algorithm, int64_t k, bool worst_case,
+                  PhysicalScenario scenario, int rv_period = 1,
+                  bool correlated = false, uint64_t seed = 17,
+                  int64_t cardinality = 100) {
+  Random rng(seed);
+  Result<Workload> w = MakeExample6Workload({cardinality, 4}, &rng);
+  EXPECT_TRUE(w.ok());
+  Result<std::vector<Update>> updates =
+      correlated ? MakeCorrelatedInserts(*w, k, &rng)
+                 : MakeRoundRobinInserts(*w, k, &rng);
+  EXPECT_TRUE(updates.ok());
+
+  SimulationOptions options;
+  options.bytes_per_tuple = 4;  // S of Table 1
+  options.physical.scenario = scenario;
+  options.physical.tuples_per_block = 20;
+  if (scenario == PhysicalScenario::kIndexedMemory) {
+    options.indexes = w->scenario1_indexes;
+  }
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(w->initial, w->view, algorithm, options, rv_period);
+  sim->SetUpdateScript(*updates);
+  Status run;
+  if (worst_case) {
+    WorstCasePolicy policy;
+    run = RunToQuiescence(sim.get(), &policy);
+  } else {
+    BestCasePolicy policy;
+    run = RunToQuiescence(sim.get(), &policy);
+  }
+  EXPECT_TRUE(run.ok()) << run;
+  return RunResult{sim->meter().messages(), sim->meter().bytes_transferred(),
+                   sim->io_stats().page_reads};
+}
+
+analytic::Params Defaults() { return analytic::Params(); }
+
+TEST(MeasuredVsAnalyticTest, MessageCountsAreExact) {
+  for (int64_t k : {3, 12, 30}) {
+    RunResult eca = RunCase(Algorithm::kEca, k, /*worst_case=*/true,
+                            PhysicalScenario::kIndexedMemory);
+    EXPECT_EQ(eca.messages, analytic::MessagesEca(k)) << "k=" << k;
+    for (int s : {1, 3}) {
+      RunResult rv = RunCase(Algorithm::kRv, k, /*worst_case=*/false,
+                             PhysicalScenario::kIndexedMemory, s);
+      EXPECT_EQ(rv.messages, analytic::MessagesRv(k, s))
+          << "k=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(MeasuredVsAnalyticTest, EcaBestCaseBytesNearAnalytic) {
+  // B_ECABest = k*S*sigma*J^2; sigma is realized by the random W>Z filter,
+  // so allow +-40%.
+  const int64_t k = 30;
+  RunResult r = RunCase(Algorithm::kEca, k, /*worst_case=*/false,
+                        PhysicalScenario::kIndexedMemory);
+  const double expected = analytic::BytesEcaBest(Defaults(), k);
+  EXPECT_GT(r.bytes, 0.6 * expected);
+  EXPECT_LT(r.bytes, 1.4 * expected);
+}
+
+TEST(MeasuredVsAnalyticTest, RvBytesScaleWithViewSize) {
+  // One recomputation ships the whole view: S*sigma*C*J^2 = 3200 expected.
+  const int64_t k = 12;
+  RunResult best = RunCase(Algorithm::kRv, k, /*worst_case=*/false,
+                           PhysicalScenario::kIndexedMemory, /*s=*/k);
+  const double expected = analytic::BytesRvBest(Defaults(), k);
+  EXPECT_GT(best.bytes, 0.6 * expected);
+  EXPECT_LT(best.bytes, 1.4 * expected);
+
+  // Recomputing after every update costs ~k times that.
+  RunResult worst = RunCase(Algorithm::kRv, k, /*worst_case=*/false,
+                            PhysicalScenario::kIndexedMemory, /*s=*/1);
+  EXPECT_GT(worst.bytes, 0.8 * k * best.bytes / 1.4);
+}
+
+TEST(MeasuredVsAnalyticTest, EcaWorstCaseCompensationIsSuperlinear) {
+  // With correlated (hot-spot) inserts every cross-relation pair joins, so
+  // the compensation traffic grows quadratically as in B_ECAWorst.
+  const int64_t k1 = 12;
+  const int64_t k2 = 24;
+  RunResult b1 = RunCase(Algorithm::kEca, k1, /*worst_case=*/true,
+                         PhysicalScenario::kIndexedMemory, 1,
+                         /*correlated=*/true);
+  RunResult b2 = RunCase(Algorithm::kEca, k2, /*worst_case=*/true,
+                         PhysicalScenario::kIndexedMemory, 1,
+                         /*correlated=*/true);
+  // Doubling k must much more than double the bytes (quadratic part).
+  EXPECT_GT(b2.bytes, 2.6 * b1.bytes);
+  // And the same stream under the best case is far cheaper.
+  RunResult best = RunCase(Algorithm::kEca, k2, /*worst_case=*/false,
+                           PhysicalScenario::kIndexedMemory, 1,
+                           /*correlated=*/true);
+  EXPECT_LT(best.bytes, b2.bytes);
+}
+
+TEST(MeasuredVsAnalyticTest, Scenario1EcaBestIoNearAnalytic) {
+  // Round-robin inserts, answers before next update: IO ~ k(J+1) (k/3
+  // repetitions of the 1+J, 2, 2J plans). The accumulated inserts perturb
+  // block alignment and local join factors — the drift the paper's
+  // constant-parameter assumption (Section 6.2, assumption 5) rounds away
+  // — so the measured count sits slightly above the closed form.
+  for (int64_t k : {3, 12, 30}) {
+    RunResult r = RunCase(Algorithm::kEca, k, /*worst_case=*/false,
+                          PhysicalScenario::kIndexedMemory);
+    const double expected = analytic::IoEcaBestS1(Defaults(), k);
+    EXPECT_GE(r.io, static_cast<int64_t>(expected)) << "k=" << k;
+    EXPECT_LE(r.io, static_cast<int64_t>(1.2 * expected)) << "k=" << k;
+  }
+}
+
+TEST(MeasuredVsAnalyticTest, Scenario1EcaWorstIoMatchesExactPairCount) {
+  // Worst case: every compensating (doubly-bound) term costs exactly one
+  // probe. With round-robin relations the number of cross-relation pairs
+  // is sum_j ((j-1) - floor((j-1)/3)); the paper's k(k-1)/3 is the
+  // uniform-random expectation of the same quantity.
+  for (int64_t k : {6, 12, 18}) {
+    RunResult r = RunCase(Algorithm::kEca, k, /*worst_case=*/true,
+                          PhysicalScenario::kIndexedMemory);
+    int64_t cross_pairs = 0;
+    for (int64_t j = 1; j <= k; ++j) {
+      cross_pairs += (j - 1) - (j - 1) / 3;
+    }
+    const double expected = analytic::IoEcaBestS1(Defaults(), k) +
+                            static_cast<double>(cross_pairs);
+    EXPECT_GE(r.io, static_cast<int64_t>(expected)) << "k=" << k;
+    // Drift is larger than in the best case: under the worst-case order
+    // every plan runs against the fully-grown relations.
+    EXPECT_LE(r.io, static_cast<int64_t>(1.35 * expected)) << "k=" << k;
+    // The paper's expectation-based form (2(j-1)/3 cross pairs per
+    // update) is in the same neighbourhood.
+    EXPECT_NEAR(static_cast<double>(r.io),
+                analytic::IoEcaWorstS1(Defaults(), k),
+                0.45 * analytic::IoEcaWorstS1(Defaults(), k));
+  }
+}
+
+TEST(MeasuredVsAnalyticTest, Scenario1RvIoIsExact) {
+  // C = 94 keeps every relation at I = 5 blocks throughout the 12-insert
+  // stream (94 + 4 rows < 101), so RV's scans match the closed forms
+  // exactly.
+  const int64_t k = 12;
+  RunResult once = RunCase(Algorithm::kRv, k, /*worst_case=*/false,
+                           PhysicalScenario::kIndexedMemory, /*s=*/k,
+                           /*correlated=*/false, /*seed=*/17, /*c=*/94);
+  EXPECT_EQ(once.io, static_cast<int64_t>(analytic::IoRvBestS1(Defaults(), k)));
+  RunResult every = RunCase(Algorithm::kRv, k, /*worst_case=*/false,
+                            PhysicalScenario::kIndexedMemory, /*s=*/1,
+                            /*correlated=*/false, /*seed=*/17, /*c=*/94);
+  EXPECT_EQ(every.io,
+            static_cast<int64_t>(analytic::IoRvWorstS1(Defaults(), k)));
+}
+
+TEST(MeasuredVsAnalyticTest, Scenario2IoMatchesOperationalForms) {
+  // The storage simulator counts outer block loads that the paper's
+  // leading-term derivation drops; the operational forms include them.
+  // C = 94 so the k/3 = 2 inserts per relation do not bump the block
+  // counts (I = 5, I' = 3 throughout, as with the paper's C = 100).
+  const int64_t k = 6;
+  analytic::Params p = Defaults();
+
+  RunResult rv = RunCase(Algorithm::kRv, k, /*worst_case=*/false,
+                         PhysicalScenario::kNestedLoopLimited, /*s=*/k,
+                         /*correlated=*/false, /*seed=*/17, /*c=*/94);
+  EXPECT_EQ(rv.io,
+            static_cast<int64_t>(analytic::IoRecomputeS2Operational(p)));
+
+  RunResult eca = RunCase(Algorithm::kEca, k, /*worst_case=*/false,
+                          PhysicalScenario::kNestedLoopLimited, 1,
+                          /*correlated=*/false, /*seed=*/17, /*c=*/94);
+  EXPECT_EQ(eca.io,
+            k * static_cast<int64_t>(
+                    analytic::IoTwoUnboundTermS2Operational(p)));
+}
+
+TEST(MeasuredVsAnalyticTest, Scenario2WorstCaseAddsScanPerCrossPair) {
+  const int64_t k = 6;
+  analytic::Params p = Defaults();
+  RunResult r = RunCase(Algorithm::kEca, k, /*worst_case=*/true,
+                        PhysicalScenario::kNestedLoopLimited, 1,
+                        /*correlated=*/false, /*seed=*/17, /*c=*/94);
+  int64_t cross_pairs = 0;
+  for (int64_t j = 1; j <= k; ++j) {
+    cross_pairs += (j - 1) - (j - 1) / 3;
+  }
+  const int64_t expected =
+      k * static_cast<int64_t>(analytic::IoTwoUnboundTermS2Operational(p)) +
+      cross_pairs * static_cast<int64_t>(p.I());
+  EXPECT_EQ(r.io, expected);
+}
+
+TEST(MeasuredVsAnalyticTest, WhoWinsMatchesFigure63) {
+  // The qualitative claim of Figure 6.3 at C=100: for small k ECA ships
+  // far fewer bytes than recompute-once RV; around the crossover RV wins.
+  RunResult eca_small = RunCase(Algorithm::kEca, 12, false,
+                                PhysicalScenario::kIndexedMemory);
+  RunResult rv_small = RunCase(Algorithm::kRv, 12, false,
+                               PhysicalScenario::kIndexedMemory, /*s=*/12);
+  EXPECT_LT(eca_small.bytes, rv_small.bytes / 4);
+
+  // Near the analytic crossover (k = C = 100) the gap collapses; by then
+  // accumulated inserts have also grown the view, so we assert same order
+  // of magnitude rather than a strict win.
+  RunResult eca_big = RunCase(Algorithm::kEca, 120, false,
+                              PhysicalScenario::kIndexedMemory);
+  RunResult rv_big = RunCase(Algorithm::kRv, 120, false,
+                             PhysicalScenario::kIndexedMemory, /*s=*/120);
+  EXPECT_GT(eca_big.bytes, rv_big.bytes / 2);
+}
+
+TEST(MeasuredVsAnalyticTest, WhoWinsMatchesFigure64) {
+  // Scenario 1 I/O: crossover near k=3 (ECA wins below, RV-once above).
+  RunResult eca2 = RunCase(Algorithm::kEca, 2, false,
+                           PhysicalScenario::kIndexedMemory);
+  RunResult rv2 = RunCase(Algorithm::kRv, 2, false,
+                          PhysicalScenario::kIndexedMemory, /*s=*/2);
+  EXPECT_LT(eca2.io, rv2.io);
+  RunResult eca12 = RunCase(Algorithm::kEca, 12, false,
+                            PhysicalScenario::kIndexedMemory);
+  RunResult rv12 = RunCase(Algorithm::kRv, 12, false,
+                           PhysicalScenario::kIndexedMemory, /*s=*/12);
+  EXPECT_GT(eca12.io, rv12.io);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,95 @@
+// Cross-algorithm oracle tests: SC never queries the source and applies
+// exact local deltas, so its final view is ground truth. Every other
+// correct algorithm must agree with it — and with the view evaluated
+// directly at the source — after any interleaving of any valid stream.
+// This is the broadest differential net in the suite.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+struct OracleCase {
+  Workload workload;
+  std::vector<Update> updates;
+};
+
+OracleCase MakeCase(uint64_t seed, bool keyed) {
+  Random rng(seed);
+  Result<Workload> w = keyed
+                           ? MakeKeyedWorkload({16, 2}, &rng)
+                           : MakeExample6Workload({16, 2}, &rng);
+  EXPECT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 10, 0.4, &rng);
+  EXPECT_TRUE(updates.ok());
+  return OracleCase{std::move(*w), std::move(*updates)};
+}
+
+Relation FinalView(const OracleCase& c, Algorithm algorithm, uint64_t seed,
+                   int rv_period = 1) {
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(c.workload.initial, c.workload.view, algorithm, {},
+                  rv_period);
+  sim->SetUpdateScript(c.updates);
+  RandomPolicy policy(seed * 1013);
+  EXPECT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  EXPECT_TRUE(sim->maintainer().IsQuiescent())
+      << AlgorithmName(algorithm) << " left pending state";
+  return sim->warehouse_view();
+}
+
+class OracleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleSweep, CorrectAlgorithmsAgreeWithScOnChainViews) {
+  OracleCase c = MakeCase(GetParam(), /*keyed=*/false);
+  Relation truth = FinalView(c, Algorithm::kSc, GetParam());
+
+  for (Algorithm a : {Algorithm::kEca, Algorithm::kEcaLocal, Algorithm::kLca,
+                      Algorithm::kEcaNoCollect}) {
+    EXPECT_EQ(FinalView(c, a, GetParam()), truth) << AlgorithmName(a);
+  }
+  // RV with period 1 recomputes after every update: also converges.
+  EXPECT_EQ(FinalView(c, Algorithm::kRv, GetParam(), 1), truth);
+
+  // And truth is really the source view.
+  Catalog state = c.workload.initial.Clone();
+  for (Update u : c.updates) {
+    ASSERT_TRUE(state.Apply(u).ok());
+  }
+  Result<Relation> at_source = EvaluateView(c.workload.view, state);
+  ASSERT_TRUE(at_source.ok());
+  EXPECT_EQ(truth, *at_source);
+}
+
+TEST_P(OracleSweep, KeyedAlgorithmsAgreeWithScOnKeyedViews) {
+  OracleCase c = MakeCase(GetParam() + 1000, /*keyed=*/true);
+  Relation truth = FinalView(c, Algorithm::kSc, GetParam());
+  for (Algorithm a :
+       {Algorithm::kEca, Algorithm::kEcaKey, Algorithm::kEcaLocal,
+        Algorithm::kLca}) {
+    EXPECT_EQ(FinalView(c, a, GetParam()), truth) << AlgorithmName(a);
+  }
+}
+
+TEST_P(OracleSweep, BatchedEcaAgreesWithSc) {
+  OracleCase c = MakeCase(GetParam() + 2000, /*keyed=*/false);
+  Relation truth = FinalView(c, Algorithm::kSc, GetParam());
+  for (int batch : {2, 5}) {
+    SimulationOptions options;
+    options.batch_size = batch;
+    std::unique_ptr<Simulation> sim = MustMakeSim(
+        c.workload.initial, c.workload.view, Algorithm::kEcaBatch, options);
+    sim->SetUpdateScript(c.updates);
+    RandomPolicy policy(GetParam() * 17);
+    ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    EXPECT_EQ(sim->warehouse_view(), truth) << "batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace wvm

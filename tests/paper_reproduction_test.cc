@@ -1,0 +1,128 @@
+// The reproduction certificate: one test file asserting, in a single
+// place, every headline quantitative claim of the paper's evaluation
+// section. Each claim is also covered in depth elsewhere; this file is the
+// at-a-glance statement that the reproduction holds (EXPERIMENTS.md in
+// executable form).
+#include <gtest/gtest.h>
+
+#include "analytic/advisor.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+using analytic::Params;
+
+TEST(PaperReproductionTest, Section61MessageFormulas) {
+  // M_RV = 2*ceil(k/s) in [2, 2k]; M_ECA = 2k.
+  EXPECT_EQ(analytic::MessagesRv(100, 100), 2);
+  EXPECT_EQ(analytic::MessagesRv(100, 1), 200);
+  EXPECT_EQ(analytic::MessagesEca(100), 200);
+}
+
+TEST(PaperReproductionTest, Figure62EcaWinsExceptTinyRelations) {
+  Params p;
+  for (double c : {10.0, 20.0, 100.0}) {
+    p.C = c;
+    EXPECT_LT(analytic::BytesEcaWorst3(p), analytic::BytesRvBest3(p));
+  }
+  p.C = 3;  // the "approximately 5 tuples" regime
+  EXPECT_GT(analytic::BytesEcaWorst3(p), analytic::BytesRvBest3(p));
+}
+
+TEST(PaperReproductionTest, Figure63CrossoversAt30And100) {
+  analytic::Crossovers x = analytic::ComputeCrossovers(Params());
+  EXPECT_DOUBLE_EQ(x.bytes_best, 100);  // "this crossover is at 100 updates"
+  EXPECT_NEAR(x.bytes_worst, 30, 1);    // "when 30 or more updates"
+}
+
+TEST(PaperReproductionTest, Figure64CrossoverAt3) {
+  analytic::Crossovers x = analytic::ComputeCrossovers(Params());
+  EXPECT_DOUBLE_EQ(x.io_s1_best, 3);  // "k = 3 for Scenario 1"
+}
+
+TEST(PaperReproductionTest, Figure65CrossoverBetween5And8) {
+  analytic::Crossovers x = analytic::ComputeCrossovers(Params());
+  EXPECT_GT(x.io_s2_worst, 5);  // "5 < k < 8 for Scenario 2"
+  EXPECT_LT(x.io_s2_worst, 8);
+}
+
+TEST(PaperReproductionTest, ThreeUpdateClosedForms) {
+  Params p;
+  // Section 6.2 / Appendix D.2.
+  EXPECT_DOUBLE_EQ(analytic::BytesRvBest3(p), 3200);
+  EXPECT_DOUBLE_EQ(analytic::BytesEcaBest3(p), 96);
+  EXPECT_DOUBLE_EQ(analytic::BytesEcaWorst3(p), 120);
+  // Appendix D.3.1/D.3.2 (I=5, I'=3).
+  EXPECT_DOUBLE_EQ(analytic::IoEcaBest3S1(p), 15);
+  EXPECT_DOUBLE_EQ(analytic::IoEcaWorst3S1(p), 18);
+  EXPECT_DOUBLE_EQ(analytic::IoRvBest3S2(p), 125);
+  EXPECT_DOUBLE_EQ(analytic::IoEcaBest3S2(p), 45);
+}
+
+TEST(PaperReproductionTest, AnomaliesExistAndEcaRepairsThem) {
+  // Examples 2 and 3 end wrong under basic and right under ECA.
+  for (auto maker : {MakePaperExample2, MakePaperExample3}) {
+    Result<PaperExample> ex = maker();
+    ASSERT_TRUE(ex.ok());
+    std::unique_ptr<Simulation> basic_run = RunPaperExample(*ex);
+    EXPECT_EQ(basic_run->warehouse_view(), ex->expected_algorithm_final);
+    EXPECT_NE(basic_run->warehouse_view(), ex->expected_correct_final);
+    ex->algorithm = "eca";
+    std::unique_ptr<Simulation> eca_run = RunPaperExample(*ex);
+    EXPECT_EQ(eca_run->warehouse_view(), ex->expected_correct_final);
+  }
+}
+
+TEST(PaperReproductionTest, StrongConsistencyTheorem) {
+  // Theorem B.1 / Appendix C, empirically: ECA and ECA-Key are strongly
+  // consistent on every sampled interleaving of mixed streams.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Random rng(seed);
+    Result<Workload> chain = MakeExample6Workload({15, 2}, &rng);
+    ASSERT_TRUE(chain.ok());
+    Result<std::vector<Update>> updates =
+        MakeMixedUpdates(*chain, 8, 0.35, &rng);
+    ASSERT_TRUE(updates.ok());
+    EXPECT_TRUE(RunRandomized(chain->initial, chain->view, Algorithm::kEca,
+                              *updates, seed)
+                    .strongly_consistent);
+
+    Random rng2(seed);
+    Result<Workload> keyed = MakeKeyedWorkload({15, 3}, &rng2);
+    ASSERT_TRUE(keyed.ok());
+    Result<std::vector<Update>> keyed_updates =
+        MakeMixedUpdates(*keyed, 8, 0.35, &rng2);
+    ASSERT_TRUE(keyed_updates.ok());
+    EXPECT_TRUE(RunRandomized(keyed->initial, keyed->view,
+                              Algorithm::kEcaKey, *keyed_updates, seed)
+                    .strongly_consistent);
+  }
+}
+
+TEST(PaperReproductionTest, EcaPropertyThree) {
+  // Section 5.6 property 3: at low update frequency ECA degenerates to
+  // the basic algorithm — compensating queries appear ONLY when an answer
+  // is still outstanding as the next update arrives.
+  Result<PaperExample> ex = MakePaperExample4();
+  ASSERT_TRUE(ex.ok());
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(ex->initial, ex->view, Algorithm::kEca);
+  sim->SetUpdateScript(ex->updates);
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+  // 3 updates, 3 single-term queries: no compensation was needed.
+  EXPECT_EQ(sim->meter().query_terms(), 3);
+}
+
+TEST(PaperReproductionTest, EcaKRequiresKeysAndSkipsDeleteQueries) {
+  Result<PaperExample> ex5 = MakePaperExample5();
+  ASSERT_TRUE(ex5.ok());
+  std::unique_ptr<Simulation> sim = RunPaperExample(*ex5);
+  EXPECT_EQ(sim->meter().query_messages(), 2);  // only the two inserts
+  EXPECT_EQ(sim->warehouse_view(), ex5->expected_correct_final);
+}
+
+}  // namespace
+}  // namespace wvm

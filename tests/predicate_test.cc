@@ -1,0 +1,149 @@
+#include "relational/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+Schema WXSchema() { return Schema::Ints({"W", "X"}); }
+
+BoundPredicate MustBind(const Predicate& p, const Schema& s) {
+  Result<BoundPredicate> bound = p.Bind(s);
+  EXPECT_TRUE(bound.ok()) << bound.status();
+  return *bound;
+}
+
+TEST(PredicateTest, TrueAcceptsEverything) {
+  BoundPredicate p = MustBind(Predicate::True(), WXSchema());
+  EXPECT_TRUE(p.Eval(Tuple::Ints({1, 2})));
+  EXPECT_TRUE(Predicate::True().IsTrue());
+}
+
+TEST(PredicateTest, AttrVsConstComparisons) {
+  Predicate p = Predicate::Compare(Operand::Attr("W"), CompareOp::kGt,
+                                   Operand::ConstInt(5));
+  BoundPredicate b = MustBind(p, WXSchema());
+  EXPECT_TRUE(b.Eval(Tuple::Ints({6, 0})));
+  EXPECT_FALSE(b.Eval(Tuple::Ints({5, 0})));
+}
+
+TEST(PredicateTest, AttrVsAttrComparisons) {
+  BoundPredicate b = MustBind(
+      Predicate::AttrCompare("W", CompareOp::kEq, "X"), WXSchema());
+  EXPECT_TRUE(b.Eval(Tuple::Ints({3, 3})));
+  EXPECT_FALSE(b.Eval(Tuple::Ints({3, 4})));
+}
+
+TEST(PredicateTest, AllSixOperators) {
+  const Tuple lo = Tuple::Ints({1, 2});
+  const Tuple eq = Tuple::Ints({2, 2});
+  const Tuple hi = Tuple::Ints({3, 2});
+  struct Case {
+    CompareOp op;
+    bool lo, eq, hi;
+  } cases[] = {
+      {CompareOp::kEq, false, true, false},
+      {CompareOp::kNe, true, false, true},
+      {CompareOp::kLt, true, false, false},
+      {CompareOp::kLe, true, true, false},
+      {CompareOp::kGt, false, false, true},
+      {CompareOp::kGe, false, true, true},
+  };
+  for (const Case& c : cases) {
+    BoundPredicate b =
+        MustBind(Predicate::AttrCompare("W", c.op, "X"), WXSchema());
+    EXPECT_EQ(b.Eval(lo), c.lo) << CompareOpSymbol(c.op);
+    EXPECT_EQ(b.Eval(eq), c.eq) << CompareOpSymbol(c.op);
+    EXPECT_EQ(b.Eval(hi), c.hi) << CompareOpSymbol(c.op);
+  }
+}
+
+TEST(PredicateTest, BooleanConnectives) {
+  Predicate w_pos = Predicate::Compare(Operand::Attr("W"), CompareOp::kGt,
+                                       Operand::ConstInt(0));
+  Predicate x_pos = Predicate::Compare(Operand::Attr("X"), CompareOp::kGt,
+                                       Operand::ConstInt(0));
+  BoundPredicate conj =
+      MustBind(Predicate::And(w_pos, x_pos), WXSchema());
+  EXPECT_TRUE(conj.Eval(Tuple::Ints({1, 1})));
+  EXPECT_FALSE(conj.Eval(Tuple::Ints({1, 0})));
+
+  BoundPredicate disj = MustBind(Predicate::Or(w_pos, x_pos), WXSchema());
+  EXPECT_TRUE(disj.Eval(Tuple::Ints({1, 0})));
+  EXPECT_FALSE(disj.Eval(Tuple::Ints({0, 0})));
+
+  BoundPredicate neg = MustBind(Predicate::Not(w_pos), WXSchema());
+  EXPECT_FALSE(neg.Eval(Tuple::Ints({1, 0})));
+  EXPECT_TRUE(neg.Eval(Tuple::Ints({0, 0})));
+}
+
+TEST(PredicateTest, AndWithTrueSimplifies) {
+  Predicate p = Predicate::And(Predicate::True(), Predicate::True());
+  EXPECT_TRUE(p.IsTrue());
+  Predicate q = Predicate::And(
+      Predicate::True(), Predicate::AttrCompare("W", CompareOp::kEq, "X"));
+  EXPECT_FALSE(q.IsTrue());
+  EXPECT_TRUE(q.AsComparison().has_value());
+}
+
+TEST(PredicateTest, NotTrueIsConstantFalse) {
+  BoundPredicate b = MustBind(Predicate::Not(Predicate::True()), WXSchema());
+  EXPECT_FALSE(b.Eval(Tuple::Ints({1, 1})));
+}
+
+TEST(PredicateTest, BindRejectsUnknownAttribute) {
+  Predicate p = Predicate::AttrCompare("Q", CompareOp::kEq, "X");
+  EXPECT_EQ(p.Bind(WXSchema()).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, BindRejectsTypeMismatch) {
+  Schema s({{"W", ValueType::kInt, false}, {"N", ValueType::kString, false}});
+  Predicate p = Predicate::AttrCompare("W", CompareOp::kEq, "N");
+  EXPECT_EQ(p.Bind(s).status().code(), StatusCode::kInvalidArgument);
+  Predicate q = Predicate::Compare(Operand::Attr("W"), CompareOp::kEq,
+                                   Operand::Const(Value("nope")));
+  EXPECT_EQ(q.Bind(s).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PredicateTest, ReferencedAttributesDeduplicated) {
+  Predicate p = Predicate::And(
+      Predicate::AttrCompare("W", CompareOp::kEq, "X"),
+      Predicate::AttrCompare("W", CompareOp::kLt, "Y"));
+  std::vector<std::string> attrs = p.ReferencedAttributes();
+  EXPECT_EQ(attrs.size(), 3u);
+}
+
+TEST(PredicateTest, TopLevelConjunctsSplitsAnds) {
+  Predicate a = Predicate::AttrCompare("W", CompareOp::kEq, "X");
+  Predicate b = Predicate::AttrCompare("X", CompareOp::kEq, "Y");
+  Predicate c = Predicate::AttrCompare("Y", CompareOp::kLt, "Z");
+  Predicate all = Predicate::And(Predicate::And(a, b), c);
+  std::vector<Predicate> conjuncts = all.TopLevelConjuncts();
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_TRUE(conjuncts[0].AsComparison().has_value());
+  EXPECT_EQ(conjuncts[0].AsComparison()->lhs.attr_name(), "W");
+  EXPECT_EQ(conjuncts[2].AsComparison()->op, CompareOp::kLt);
+}
+
+TEST(PredicateTest, TopLevelConjunctsOfTrueIsEmpty) {
+  EXPECT_TRUE(Predicate::True().TopLevelConjuncts().empty());
+}
+
+TEST(PredicateTest, OrIsNotSplitIntoConjuncts) {
+  Predicate p = Predicate::Or(
+      Predicate::AttrCompare("W", CompareOp::kEq, "X"),
+      Predicate::AttrCompare("X", CompareOp::kEq, "Y"));
+  EXPECT_EQ(p.TopLevelConjuncts().size(), 1u);
+  EXPECT_FALSE(p.AsComparison().has_value());
+}
+
+TEST(PredicateTest, ToStringIsReadable) {
+  Predicate p = Predicate::And(
+      Predicate::AttrCompare("W", CompareOp::kGt, "Z"),
+      Predicate::Compare(Operand::Attr("X"), CompareOp::kEq,
+                         Operand::ConstInt(3)));
+  EXPECT_EQ(p.ToString(), "(W > Z and X = 3)");
+}
+
+}  // namespace
+}  // namespace wvm

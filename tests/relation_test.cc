@@ -1,0 +1,266 @@
+// Tests for the Z-relation substrate: values, tuples, schemas, and the
+// signed-bag algebra of Section 4.1.
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "relational/algebra.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace wvm {
+namespace {
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{3}).AsInt(), 3);
+  EXPECT_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{1}));
+}
+
+TEST(ValueTest, EqualityAndHashAgree) {
+  EXPECT_EQ(Value(int64_t{7}), Value(int64_t{7}));
+  EXPECT_NE(Value(int64_t{7}), Value(int64_t{8}));
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+TEST(ValueTest, ByteWidths) {
+  EXPECT_EQ(Value(int64_t{1}).ByteWidth(), 4);
+  EXPECT_EQ(Value(1.0).ByteWidth(), 8);
+  EXPECT_EQ(Value("abc").ByteWidth(), 3);
+}
+
+TEST(ValueTest, Printing) {
+  EXPECT_EQ(Value(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(Value("s").ToString(), "\"s\"");
+}
+
+// --- Tuple ------------------------------------------------------------------
+
+TEST(TupleTest, IntsFactoryAndAccess) {
+  Tuple t = Tuple::Ints({1, 2, 3});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.value(1).AsInt(), 2);
+}
+
+TEST(TupleTest, ProjectReordersAndRepeats) {
+  Tuple t = Tuple::Ints({10, 20, 30});
+  Tuple p = t.Project({2, 0, 2});
+  EXPECT_EQ(p, Tuple::Ints({30, 10, 30}));
+}
+
+TEST(TupleTest, ConcatAppends) {
+  EXPECT_EQ(Tuple::Ints({1}).Concat(Tuple::Ints({2, 3})),
+            Tuple::Ints({1, 2, 3}));
+}
+
+TEST(TupleTest, PaperStylePrinting) {
+  EXPECT_EQ(Tuple::Ints({1, 2}).ToString(), "[1,2]");
+  EXPECT_EQ(Tuple().ToString(), "[]");
+}
+
+TEST(TupleTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Tuple::Ints({1, 2}).Hash(), Tuple::Ints({1, 2}).Hash());
+  EXPECT_EQ(Tuple::Ints({1, 2}), Tuple::Ints({1, 2}));
+  EXPECT_NE(Tuple::Ints({1, 2}), Tuple::Ints({2, 1}));
+}
+
+// --- Schema -----------------------------------------------------------------
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  Schema s = Schema::Ints({"W", "X"});
+  EXPECT_EQ(s.IndexOf("X"), 1u);
+  EXPECT_FALSE(s.IndexOf("Z").has_value());
+}
+
+TEST(SchemaTest, IndicesOfErrorsOnMissing) {
+  Schema s = Schema::Ints({"W", "X"});
+  EXPECT_TRUE(s.IndicesOf({"X", "W"}).ok());
+  EXPECT_EQ(s.IndicesOf({"X", "Q"}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatRejectsDuplicates) {
+  Schema a = Schema::Ints({"W", "X"});
+  Schema b = Schema::Ints({"X", "Y"});
+  EXPECT_EQ(a.Concat(b).status().code(), StatusCode::kInvalidArgument);
+  Schema c = Schema::Ints({"Y", "Z"});
+  ASSERT_TRUE(a.Concat(c).ok());
+  EXPECT_EQ(a.Concat(c)->size(), 4u);
+}
+
+TEST(SchemaTest, KeyAttributesTracked) {
+  Schema s({{"W", ValueType::kInt, true}, {"X", ValueType::kInt, false}});
+  EXPECT_EQ(s.KeyAttributeNames(), std::vector<std::string>{"W"});
+}
+
+TEST(SchemaTest, ByteWidthSumsFixedWidths) {
+  Schema s({{"a", ValueType::kInt, false}, {"b", ValueType::kDouble, false}});
+  EXPECT_EQ(s.ByteWidth(), 12);
+}
+
+// --- Relation: Z-semantics ---------------------------------------------------
+
+Schema OneCol() { return Schema::Ints({"a"}); }
+
+TEST(RelationTest, InsertAccumulatesMultiplicity) {
+  Relation r(OneCol());
+  r.Insert(Tuple::Ints({1}));
+  r.Insert(Tuple::Ints({1}));
+  EXPECT_EQ(r.CountOf(Tuple::Ints({1})), 2);
+  EXPECT_EQ(r.NumDistinct(), 1u);
+  EXPECT_EQ(r.TotalPositive(), 2);
+}
+
+TEST(RelationTest, ZeroMultiplicityEntriesVanish) {
+  Relation r(OneCol());
+  r.Insert(Tuple::Ints({1}), 2);
+  r.Insert(Tuple::Ints({1}), -2);
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.CountOf(Tuple::Ints({1})), 0);
+}
+
+TEST(RelationTest, NegativeMultiplicityRepresentsDeletedTuples) {
+  Relation r(OneCol());
+  r.Insert(Tuple::Ints({1}), -1);
+  EXPECT_TRUE(r.HasNegative());
+  EXPECT_EQ(r.TotalAbsolute(), 1);
+  EXPECT_EQ(r.TotalPositive(), 0);
+}
+
+TEST(RelationTest, AddIsPointwiseCountAddition) {
+  // The paper's r1 + r2 = (pos U pos) - (neg U neg).
+  Relation a(OneCol());
+  a.Insert(Tuple::Ints({1}), 2);
+  a.Insert(Tuple::Ints({2}), -1);
+  Relation b(OneCol());
+  b.Insert(Tuple::Ints({1}), -1);
+  b.Insert(Tuple::Ints({3}), 1);
+  Relation sum = a + b;
+  EXPECT_EQ(sum.CountOf(Tuple::Ints({1})), 1);
+  EXPECT_EQ(sum.CountOf(Tuple::Ints({2})), -1);
+  EXPECT_EQ(sum.CountOf(Tuple::Ints({3})), 1);
+}
+
+TEST(RelationTest, MinusIsPlusOfNegation) {
+  Relation a(OneCol());
+  a.Insert(Tuple::Ints({1}), 3);
+  Relation b(OneCol());
+  b.Insert(Tuple::Ints({1}), 1);
+  EXPECT_EQ((a - b).CountOf(Tuple::Ints({1})), 2);
+  EXPECT_EQ(a - b, a + b.Negated());
+}
+
+TEST(RelationTest, PositiveAndNegativeParts) {
+  Relation r(OneCol());
+  r.Insert(Tuple::Ints({1}), 2);
+  r.Insert(Tuple::Ints({2}), -3);
+  EXPECT_EQ(r.Positive().CountOf(Tuple::Ints({1})), 2);
+  EXPECT_EQ(r.Positive().CountOf(Tuple::Ints({2})), 0);
+  EXPECT_EQ(r.NegativePart().CountOf(Tuple::Ints({2})), 3);
+}
+
+TEST(RelationTest, EqualityIgnoresInsertionOrder) {
+  Relation a = Relation::FromTuples(OneCol(),
+                                    {Tuple::Ints({1}), Tuple::Ints({2})});
+  Relation b = Relation::FromTuples(OneCol(),
+                                    {Tuple::Ints({2}), Tuple::Ints({1})});
+  EXPECT_EQ(a, b);
+  b.Insert(Tuple::Ints({2}));
+  EXPECT_NE(a, b);  // multiplicities matter (duplicate retention)
+}
+
+TEST(RelationTest, ByteSizeChargesAbsoluteMultiplicity) {
+  Relation r(Schema::Ints({"a", "b"}));
+  r.Insert(Tuple::Ints({1, 2}), 2);
+  r.Insert(Tuple::Ints({3, 4}), -1);
+  EXPECT_EQ(r.ByteSize(), 3 * 8);  // 3 tuples x 2 int columns x 4 bytes
+}
+
+TEST(RelationTest, PaperStylePrintingExpandsDuplicates) {
+  Relation r(OneCol());
+  r.Insert(Tuple::Ints({4}), 2);
+  r.Insert(Tuple::Ints({1}), 1);
+  EXPECT_EQ(r.ToString(), "([1], [4], [4])");
+}
+
+TEST(RelationTest, PrintingShowsMinusSigns) {
+  Relation r(OneCol());
+  r.Insert(Tuple::Ints({4}), -1);
+  EXPECT_EQ(r.ToString(), "(-[4])");
+}
+
+// Group/ring properties of the signed algebra, exercised over random data
+// (Lemma B.2 and the ECA proof rely on these).
+class SignedAlgebraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+Relation RandomRelation(Random* rng, int max_tuples = 8) {
+  Relation r(OneCol());
+  const int n = 1 + static_cast<int>(rng->Uniform(max_tuples));
+  for (int i = 0; i < n; ++i) {
+    r.Insert(Tuple::Ints({static_cast<int64_t>(rng->Uniform(5))}),
+             rng->UniformRange(-3, 3));
+  }
+  return r;
+}
+
+TEST_P(SignedAlgebraProperty, AdditionCommutesAndAssociates) {
+  Random rng(GetParam());
+  Relation a = RandomRelation(&rng);
+  Relation b = RandomRelation(&rng);
+  Relation c = RandomRelation(&rng);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(SignedAlgebraProperty, NegationIsAdditiveInverse) {
+  Random rng(GetParam());
+  Relation a = RandomRelation(&rng);
+  EXPECT_TRUE((a + a.Negated()).IsEmpty());
+}
+
+TEST_P(SignedAlgebraProperty, CrossProductDistributesOverAddition) {
+  // The paper states x is distributive over + and - (Section 4.1); this is
+  // what makes term-wise compensation sound.
+  Random rng(GetParam());
+  Relation a = RandomRelation(&rng);
+  Relation b = RandomRelation(&rng);
+  Relation c(Schema::Ints({"b"}));
+  c.Insert(Tuple::Ints({static_cast<int64_t>(rng.Uniform(3))}),
+           rng.UniformRange(-2, 2));
+  Relation lhs = *CrossProduct(a + b, c);
+  Relation rhs = *CrossProduct(a, c) + *CrossProduct(b, c);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(SignedAlgebraProperty, SignProductTable) {
+  // (+)x(+)=+, (+)x(-)=-, (-)x(-)=+ — multiplicity products.
+  Random rng(GetParam());
+  // Draw nonzero multiplicities of both signs.
+  int64_t ca = rng.UniformRange(1, 4) * (rng.Bernoulli(1, 2) ? 1 : -1);
+  int64_t cb = rng.UniformRange(1, 4) * (rng.Bernoulli(1, 2) ? 1 : -1);
+  Relation a(OneCol());
+  a.Insert(Tuple::Ints({1}), ca);
+  Relation b(Schema::Ints({"b"}));
+  b.Insert(Tuple::Ints({2}), cb);
+  Relation prod = *CrossProduct(a, b);
+  EXPECT_EQ(prod.CountOf(Tuple::Ints({1, 2})), ca * cb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignedAlgebraProperty,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,196 @@
+// Tests for the scenario text format and its runner.
+#include "script/scenario_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "script/scenario_runner.h"
+
+namespace wvm {
+namespace {
+
+constexpr char kAnomalyScenario[] = R"(
+# Example 2 of the paper
+relation r1 W:int X:int
+relation r2 X:int Y:int
+tuple r1 1 2
+view V project W
+algorithm basic
+order worst
+update insert r2 2 3
+update insert r1 4 2
+expect-final [1] [4] [4]
+)";
+
+TEST(ScenarioParserTest, ParsesTheFullGrammar) {
+  Result<ScenarioSpec> spec = ParseScenario(kAnomalyScenario);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->defs.size(), 2u);
+  EXPECT_EQ(spec->algorithm, Algorithm::kBasic);
+  EXPECT_EQ(spec->order, ScenarioSpec::Order::kWorst);
+  EXPECT_EQ(spec->batches.size(), 2u);
+  ASSERT_TRUE(spec->expected_final.has_value());
+  EXPECT_EQ(spec->expected_final->TotalPositive(), 3);
+  EXPECT_EQ(spec->initial.Get("r1").value()->TotalPositive(), 1);
+}
+
+TEST(ScenarioParserTest, KeysAndConditions) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+relation r1 W:int:key X:int
+relation r2 X:int Y:int:key
+view V project W Y where W > 2 and Y != 9
+update insert r1 3 1
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(spec->view->HasAllBaseKeys());
+  EXPECT_NE(spec->view->cond().ToString().find("W > 2"), std::string::npos);
+  EXPECT_NE(spec->view->cond().ToString().find("Y != 9"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, BatchesSplitOnPipes) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+relation r1 W:int X:int
+view V project W
+batch delete r1 1 2 | insert r1 1 9
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->batches.size(), 1u);
+  ASSERT_EQ(spec->batches[0].size(), 2u);
+  EXPECT_EQ(spec->batches[0][0].kind, UpdateKind::kDelete);
+  EXPECT_EQ(spec->batches[0][1].kind, UpdateKind::kInsert);
+}
+
+TEST(ScenarioParserTest, RandomOrderWithSeed) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+relation r1 W:int
+view V project W
+order random 99
+)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->order, ScenarioSpec::Order::kRandom);
+  EXPECT_EQ(spec->seed, 99u);
+}
+
+TEST(ScenarioParserTest, ErrorsCarryLineNumbers) {
+  Result<ScenarioSpec> bad = ParseScenario(R"(
+relation r1 W:int
+view V project W
+frobnicate everything
+)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, RejectsBadInputs) {
+  EXPECT_FALSE(ParseScenario("view V project W\n").ok());  // no relations
+  EXPECT_FALSE(ParseScenario("relation r1 W\n").ok());  // missing type
+  EXPECT_FALSE(
+      ParseScenario("relation r1 W:blob\nview V project W\n").ok());
+  EXPECT_FALSE(ParseScenario("relation r1 W:int\n").ok());  // no view
+  EXPECT_FALSE(ParseScenario(R"(
+relation r1 W:int
+view V project W
+update insert r2 1
+)")
+                   .ok());  // unknown relation in update
+  EXPECT_FALSE(ParseScenario(R"(
+relation r1 W:int X:int
+view V project W
+update insert r1 1
+)")
+                   .ok());  // arity mismatch
+  EXPECT_FALSE(ParseScenario(R"(
+relation r1 W:int
+view V project W where W >>> 3
+)")
+                   .ok());  // bad operator
+  EXPECT_FALSE(ParseScenario(R"(
+relation r1 W:int
+view V project W
+algorithm quantum
+)")
+                   .ok());
+}
+
+TEST(ScenarioParserTest, RelationsAfterViewRejected) {
+  EXPECT_FALSE(ParseScenario(R"(
+relation r1 W:int
+view V project W
+relation r2 X:int
+)")
+                   .ok());
+}
+
+TEST(ScenarioRunnerTest, ReproducesTheAnomaly) {
+  Result<ScenarioSpec> spec = ParseScenario(kAnomalyScenario);
+  ASSERT_TRUE(spec.ok());
+  Result<ScenarioOutcome> outcome = RunScenario(*spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(outcome->expectation_met.has_value());
+  EXPECT_TRUE(*outcome->expectation_met);
+  EXPECT_FALSE(outcome->consistency.convergent);
+  EXPECT_NE(outcome->trace.find("insert(r2,[2,3])"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, SwappingAlgorithmRepairsTheAnomaly) {
+  Result<ScenarioSpec> spec = ParseScenario(kAnomalyScenario);
+  ASSERT_TRUE(spec.ok());
+  spec->algorithm = Algorithm::kEca;
+  spec->expected_final.reset();
+  Result<ScenarioOutcome> outcome = RunScenario(*spec);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->consistency.strongly_consistent);
+  EXPECT_EQ(outcome->final_view, outcome->source_view);
+}
+
+TEST(ScenarioRunnerTest, ReplicateRunsEcaSc) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+relation r1 W:int X:int
+relation r2 X:int Y:int
+tuple r1 1 2
+tuple r2 2 3
+view V project W Y
+replicate r2
+order worst
+update insert r1 7 2
+update insert r2 2 9
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->replicated, std::set<std::string>{"r2"});
+  Result<ScenarioOutcome> outcome = RunScenario(*spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->consistency.strongly_consistent)
+      << outcome->consistency.ToString();
+  EXPECT_EQ(outcome->final_view, outcome->source_view);
+}
+
+TEST(ScenarioRunnerTest, ReplicateRejectsNonEcaAlgorithms) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+relation r1 W:int
+view V project W
+algorithm lca
+replicate r1
+)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(RunScenario(*spec).ok());
+}
+
+TEST(ScenarioRunnerTest, StringTypedColumns) {
+  Result<ScenarioSpec> spec = ParseScenario(R"(
+relation users id:int:key name:string
+tuple users 1 ada
+tuple users 2 grace
+view V project id name
+algorithm eca
+update delete users 1 ada
+update insert users 3 edsger
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  Result<ScenarioOutcome> outcome = RunScenario(*spec);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->consistency.strongly_consistent)
+      << outcome->consistency.ToString();
+  EXPECT_EQ(outcome->final_view.TotalPositive(), 2);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,102 @@
+// Unit + integration tests for the staleness (visibility lag) metric.
+#include "consistency/staleness.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+Relation Rel(std::initializer_list<int64_t> values) {
+  Relation r(Schema::Ints({"a"}));
+  for (int64_t v : values) {
+    r.Insert(Tuple::Ints({v}));
+  }
+  return r;
+}
+
+TEST(StalenessTest, ImmediateVisibilityHasZeroLag) {
+  StateLog log;
+  log.RecordSourceState(Rel({}), 0);
+  log.RecordWarehouseState(Rel({}), 0);
+  log.RecordSourceState(Rel({1}), 1);
+  log.RecordWarehouseState(Rel({1}), 1);
+  StalenessReport r = MeasureStaleness(log);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_lag, 0.0);
+  EXPECT_EQ(r.max_lag, 0);
+}
+
+TEST(StalenessTest, LagCountsInterveningEvents) {
+  StateLog log;
+  log.RecordSourceState(Rel({}), 0);
+  log.RecordWarehouseState(Rel({}), 0);
+  log.RecordSourceState(Rel({1}), 1);
+  // Warehouse catches up 4 events later.
+  log.RecordWarehouseState(Rel({}), 3);
+  log.RecordWarehouseState(Rel({1}), 5);
+  StalenessReport r = MeasureStaleness(log);
+  ASSERT_EQ(r.lags.size(), 2u);
+  EXPECT_EQ(r.lags[0], 0);
+  EXPECT_EQ(r.lags[1], 4);
+  EXPECT_EQ(r.max_lag, 4);
+}
+
+TEST(StalenessTest, SkippedStatesLowerCoverage) {
+  StateLog log;
+  log.RecordSourceState(Rel({}), 0);
+  log.RecordWarehouseState(Rel({}), 0);
+  log.RecordSourceState(Rel({1}), 1);     // never shown
+  log.RecordSourceState(Rel({1, 2}), 2);  // shown late
+  log.RecordWarehouseState(Rel({1, 2}), 6);
+  StalenessReport r = MeasureStaleness(log);
+  EXPECT_EQ(r.lags[1], -1);
+  EXPECT_EQ(r.lags[2], 4);
+  EXPECT_NEAR(r.coverage, 2.0 / 3.0, 1e-9);
+}
+
+TEST(StalenessTest, EmptyLogIsZero) {
+  StalenessReport r = MeasureStaleness(StateLog());
+  EXPECT_DOUBLE_EQ(r.coverage, 0.0);
+  EXPECT_TRUE(r.lags.empty());
+}
+
+TEST(StalenessTest, CompleteAlgorithmsCoverEverything) {
+  Random rng(4);
+  Result<Workload> w = MakeExample6Workload({20, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 12, 0.3, &rng);
+  ASSERT_TRUE(updates.ok());
+  for (Algorithm a : {Algorithm::kSc, Algorithm::kLca}) {
+    std::unique_ptr<Simulation> sim =
+        MustMakeSim(w->initial, w->view, a);
+    sim->SetUpdateScript(*updates);
+    RandomPolicy policy(4);
+    ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    StalenessReport r = MeasureStaleness(sim->state_log());
+    EXPECT_DOUBLE_EQ(r.coverage, 1.0) << AlgorithmName(a);
+  }
+}
+
+TEST(StalenessTest, ScSeesUpdatesFasterThanLca) {
+  // SC applies deltas on notification arrival; LCA must wait for its
+  // query round trips. Same stream, same interleaving: SC's lag <= LCA's.
+  Random rng(5);
+  Result<Workload> w = MakeExample6Workload({20, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 12, 0.3, &rng);
+  ASSERT_TRUE(updates.ok());
+  auto lag = [&](Algorithm a) {
+    std::unique_ptr<Simulation> sim = MustMakeSim(w->initial, w->view, a);
+    sim->SetUpdateScript(*updates);
+    RandomPolicy policy(5);
+    EXPECT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    return MeasureStaleness(sim->state_log()).mean_lag;
+  };
+  EXPECT_LE(lag(Algorithm::kSc), lag(Algorithm::kLca));
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,137 @@
+// Heavier randomized campaigns: longer streams, batched notification
+// mixes, invariant checks at quiescence, and parser robustness against
+// garbage. These run in seconds but cover far more interleavings than the
+// per-module suites.
+#include <gtest/gtest.h>
+
+#include "core/eca.h"
+#include "script/scenario_parser.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+class StressSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressSweep, LongMixedStreamsStayStronglyConsistent) {
+  Random rng(GetParam());
+  Result<Workload> w = MakeExample6Workload({50, 4}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 40, 0.4, &rng);
+  ASSERT_TRUE(updates.ok());
+  ConsistencyReport r = RunRandomized(w->initial, w->view, Algorithm::kEca,
+                                      *updates, GetParam() * 97);
+  EXPECT_TRUE(r.strongly_consistent) << r.ToString();
+}
+
+TEST_P(StressSweep, QuiescenceLeavesNoResidualState) {
+  Random rng(GetParam() + 77);
+  Result<Workload> w = MakeExample6Workload({30, 3}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 20, 0.3, &rng);
+  ASSERT_TRUE(updates.ok());
+
+  auto maintainer = std::make_unique<Eca>(w->view);
+  Eca* eca = maintainer.get();
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      w->initial, w->view, std::move(maintainer), SimulationOptions());
+  ASSERT_TRUE(sim.ok());
+  (*sim)->SetUpdateScript(*updates);
+  RandomPolicy policy(GetParam() * 3 + 1);
+  ASSERT_TRUE(RunToQuiescence(sim->get(), &policy).ok());
+  // Invariants at quiescence: UQS drained, COLLECT installed and cleared.
+  EXPECT_TRUE(eca->uqs().empty());
+  EXPECT_TRUE(eca->collect().IsEmpty());
+  EXPECT_TRUE(eca->IsQuiescent());
+  // And the view has no negative multiplicities (it is a real bag).
+  EXPECT_FALSE((*sim)->warehouse_view().HasNegative());
+}
+
+TEST_P(StressSweep, RandomBatchSizesConvergeAcrossAlgorithms) {
+  Random rng(GetParam() + 300);
+  Result<Workload> w = MakeExample6Workload({25, 2}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 18, 0.3, &rng);
+  ASSERT_TRUE(updates.ok());
+
+  Catalog final_state = w->initial.Clone();
+  for (Update u : *updates) {
+    ASSERT_TRUE(final_state.Apply(u).ok());
+  }
+  Result<Relation> truth = EvaluateView(w->view, final_state);
+  ASSERT_TRUE(truth.ok());
+
+  for (Algorithm a : {Algorithm::kEca, Algorithm::kEcaBatch}) {
+    const int batch = 1 + static_cast<int>(rng.Uniform(5));
+    SimulationOptions options;
+    options.batch_size = batch;
+    std::unique_ptr<Simulation> sim =
+        MustMakeSim(w->initial, w->view, a, options);
+    sim->SetUpdateScript(*updates);
+    RandomPolicy policy(GetParam() * 13 + batch);
+    ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    EXPECT_EQ(sim->warehouse_view(), *truth)
+        << AlgorithmName(a) << " batch=" << batch;
+  }
+}
+
+TEST_P(StressSweep, HighDeleteFractionStreams) {
+  // Deletion-heavy streams exercise the signed algebra hardest (Example 3
+  // was the deletion anomaly).
+  Random rng(GetParam() + 900);
+  Result<Workload> w = MakeExample6Workload({30, 3}, &rng);
+  ASSERT_TRUE(w.ok());
+  Result<std::vector<Update>> updates = MakeMixedUpdates(*w, 24, 0.7, &rng);
+  ASSERT_TRUE(updates.ok());
+  for (Algorithm a : {Algorithm::kEca, Algorithm::kLca, Algorithm::kEcaLocal}) {
+    ConsistencyReport r = RunRandomized(w->initial, w->view, a, *updates,
+                                        GetParam() * 7);
+    EXPECT_TRUE(r.strongly_consistent)
+        << AlgorithmName(a) << ": " << r.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(ParserFuzzTest, GarbageNeverCrashes) {
+  Random rng(1234);
+  const char* fragments[] = {
+      "relation", "view",   "tuple",  "update", "batch",  "order",
+      "project",  "where",  "insert", "delete", "r1",     "W:int",
+      "W",        "and",    ">",      "|",      "[1,2]",  "-3",
+      "1",        "random", "#x",     ":",      "expect-final",
+  };
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text;
+    const int lines = 1 + static_cast<int>(rng.Uniform(8));
+    for (int l = 0; l < lines; ++l) {
+      const int tokens = static_cast<int>(rng.Uniform(8));
+      for (int t = 0; t < tokens; ++t) {
+        text += fragments[rng.Uniform(std::size(fragments))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    // Must return (ok or error), never crash; errors carry line numbers.
+    Result<ScenarioSpec> spec = ParseScenario(text);
+    if (!spec.ok()) {
+      EXPECT_FALSE(spec.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ValidScenariosSurviveAppendedGarbage) {
+  const std::string valid = R"(
+relation r1 W:int X:int
+view V project W
+update insert r1 1 2
+)";
+  Result<ScenarioSpec> spec = ParseScenario(valid + "\nfrobnicate\n");
+  EXPECT_FALSE(spec.ok());  // rejected cleanly
+  EXPECT_TRUE(ParseScenario(valid).ok());
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,178 @@
+// Tests for query terms, the substitution operator Q<U> of Section 4.2,
+// and the inclusion-exclusion batch expansion.
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "query/term.h"
+#include "query/view_def.h"
+
+namespace wvm {
+namespace {
+
+ViewDefinitionPtr ChainView() {
+  Result<ViewDefinitionPtr> v = ViewDefinition::NaturalJoin(
+      "V",
+      {{"r1", Schema::Ints({"W", "X"})},
+       {"r2", Schema::Ints({"X", "Y"})},
+       {"r3", Schema::Ints({"Y", "Z"})}},
+      {"W", "Z"});
+  EXPECT_TRUE(v.ok()) << v.status();
+  return *v;
+}
+
+TEST(TermTest, FromViewIsUnsubstituted) {
+  Term t = Term::FromView(ChainView());
+  EXPECT_TRUE(t.IsUnsubstituted());
+  EXPECT_EQ(t.NumBound(), 0u);
+  EXPECT_EQ(t.coefficient(), 1);
+}
+
+TEST(TermTest, SubstituteBindsTheRightPosition) {
+  Term t = Term::FromView(ChainView());
+  std::optional<Term> s =
+      t.Substitute(Update::Insert("r2", Tuple::Ints({2, 3})));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->NumBound(), 1u);
+  EXPECT_TRUE(s->operands()[1].is_bound);
+  EXPECT_EQ(s->operands()[1].bound.tuple, Tuple::Ints({2, 3}));
+  EXPECT_EQ(s->operands()[1].bound.sign, +1);
+}
+
+TEST(TermTest, DeleteSubstitutionCarriesMinusSign) {
+  Term t = Term::FromView(ChainView());
+  std::optional<Term> s =
+      t.Substitute(Update::Delete("r1", Tuple::Ints({1, 2})));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->operands()[0].bound.sign, -1);
+}
+
+TEST(TermTest, DoubleSubstitutionOnSameRelationVanishes) {
+  // Q<U1,U2> = empty when U1 and U2 hit the same relation (Section 4.2).
+  Term t = Term::FromView(ChainView());
+  std::optional<Term> s1 =
+      t.Substitute(Update::Insert("r1", Tuple::Ints({1, 2})));
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_FALSE(
+      s1->Substitute(Update::Insert("r1", Tuple::Ints({3, 4}))).has_value());
+}
+
+TEST(TermTest, SubstitutionOnDifferentRelationsComposes) {
+  Term t = Term::FromView(ChainView());
+  std::optional<Term> s =
+      t.Substitute(Update::Insert("r1", Tuple::Ints({1, 2})));
+  s = s->Substitute(Update::Insert("r3", Tuple::Ints({5, 6})));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->NumBound(), 2u);
+}
+
+TEST(TermTest, SubstitutionOfIrrelevantRelationVanishes) {
+  Term t = Term::FromView(ChainView());
+  EXPECT_FALSE(
+      t.Substitute(Update::Insert("r9", Tuple::Ints({1}))).has_value());
+}
+
+TEST(TermTest, NegationFlipsCoefficientOnly) {
+  Term t = Term::FromView(ChainView());
+  Term n = t.Negated();
+  EXPECT_EQ(n.coefficient(), -1);
+  EXPECT_EQ(n.Negated().coefficient(), 1);
+  EXPECT_EQ(n.NumBound(), 0u);
+}
+
+TEST(TermTest, DeltaTagsArePreservedBySubstitution) {
+  Term t = Term::FromView(ChainView());
+  t.set_delta_update_id(7);
+  std::optional<Term> s =
+      t.Substitute(Update::Insert("r1", Tuple::Ints({1, 2})));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->delta_update_id(), 7u);
+}
+
+TEST(QueryTest, SubstituteDropsBoundTerms) {
+  ViewDefinitionPtr view = ChainView();
+  Update u1 = Update::Insert("r1", Tuple::Ints({1, 2}));
+  Update u2 = Update::Insert("r1", Tuple::Ints({3, 4}));
+  Term bound = *Term::FromView(view).Substitute(u1);
+  Query q(1, 1, {bound, Term::FromView(view)});
+  Query s = q.Substitute(u2);
+  // bound term vanishes (same relation), unbound term gets bound.
+  ASSERT_EQ(s.NumTerms(), 1u);
+  EXPECT_EQ(s.terms()[0].NumBound(), 1u);
+}
+
+TEST(QueryTest, SubtractTermsNegatesCoefficients) {
+  ViewDefinitionPtr view = ChainView();
+  Query q(1, 1, {Term::FromView(view)});
+  Query other(2, 2, {Term::FromView(view), Term::FromView(view).Negated()});
+  q.SubtractTerms(other);
+  ASSERT_EQ(q.NumTerms(), 3u);
+  EXPECT_EQ(q.terms()[0].coefficient(), 1);
+  EXPECT_EQ(q.terms()[1].coefficient(), -1);
+  EXPECT_EQ(q.terms()[2].coefficient(), 1);  // double negation
+}
+
+TEST(QueryTest, InclusionExclusionSubsetSigns) {
+  ViewDefinitionPtr view = ChainView();
+  Query q(1, 1, {Term::FromView(view)});
+  std::vector<Update> batch = {Update::Insert("r1", Tuple::Ints({1, 2})),
+                               Update::Insert("r2", Tuple::Ints({2, 3}))};
+  batch[0].id = 1;
+  batch[1].id = 2;
+  Query expanded = q.InclusionExclusionSubstitute(batch);
+  // Non-empty subsets of {U1,U2}: {U1}+, {U2}+, {U1,U2}-.
+  ASSERT_EQ(expanded.NumTerms(), 3u);
+  int positives = 0;
+  int negatives = 0;
+  for (const Term& t : expanded.terms()) {
+    (t.coefficient() > 0 ? positives : negatives)++;
+  }
+  EXPECT_EQ(positives, 2);
+  EXPECT_EQ(negatives, 1);
+}
+
+TEST(QueryTest, InclusionExclusionSameRelationPairsVanish) {
+  ViewDefinitionPtr view = ChainView();
+  Query q(1, 1, {Term::FromView(view)});
+  std::vector<Update> batch = {Update::Insert("r1", Tuple::Ints({1, 2})),
+                               Update::Insert("r1", Tuple::Ints({3, 4}))};
+  Query expanded = q.InclusionExclusionSubstitute(batch);
+  // {U1}, {U2} survive; {U1,U2} hits r1 twice and vanishes.
+  EXPECT_EQ(expanded.NumTerms(), 2u);
+}
+
+TEST(QueryTest, InclusionExclusionTripleBatch) {
+  ViewDefinitionPtr view = ChainView();
+  Query q(1, 1, {Term::FromView(view)});
+  std::vector<Update> batch = {Update::Insert("r1", Tuple::Ints({1, 2})),
+                               Update::Insert("r2", Tuple::Ints({2, 3})),
+                               Update::Insert("r3", Tuple::Ints({3, 4}))};
+  Query expanded = q.InclusionExclusionSubstitute(batch);
+  // All 7 non-empty subsets survive (three distinct relations):
+  // 3 singletons (+), 3 pairs (-), 1 triple (+).
+  ASSERT_EQ(expanded.NumTerms(), 7u);
+  int sum = 0;
+  for (const Term& t : expanded.terms()) {
+    sum += t.coefficient();
+  }
+  EXPECT_EQ(sum, 3 - 3 + 1);
+}
+
+TEST(QueryTest, EmptyQueryRendering) {
+  EXPECT_NE(Query().ToString().find("empty"), std::string::npos);
+}
+
+TEST(QueryTest, ToStringShowsCompensationAsSubtraction) {
+  ViewDefinitionPtr view = ChainView();
+  Query q(3, 2, {Term::FromView(view)});
+  Query pending(1, 1,
+                {*Term::FromView(view).Substitute(
+                    Update::Insert("r1", Tuple::Ints({4, 2})))});
+  q.SubtractTerms(pending);
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("Q3 = "), std::string::npos);
+  EXPECT_NE(s.find(" - "), std::string::npos);
+  EXPECT_NE(s.find("[4,2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wvm

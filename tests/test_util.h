@@ -1,0 +1,65 @@
+#ifndef WVM_TESTS_TEST_UTIL_H_
+#define WVM_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "consistency/checker.h"
+#include "core/factory.h"
+#include "sim/policies.h"
+#include "sim/simulation.h"
+#include "workload/scenarios.h"
+
+namespace wvm {
+
+// Builds a ready-to-run simulation for `algorithm` over the given state,
+// failing the test on any setup error.
+inline std::unique_ptr<Simulation> MustMakeSim(
+    const Catalog& initial, ViewDefinitionPtr view, Algorithm algorithm,
+    SimulationOptions options = SimulationOptions(), int rv_period = 1) {
+  Result<std::unique_ptr<ViewMaintainer>> maintainer =
+      MakeMaintainer(algorithm, view, rv_period);
+  EXPECT_TRUE(maintainer.ok()) << maintainer.status();
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      initial, std::move(view), std::move(*maintainer), options);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  return std::move(*sim);
+}
+
+// Runs a paper example under its designated algorithm with the paper's
+// exact interleaving and returns the simulation for inspection.
+inline std::unique_ptr<Simulation> RunPaperExample(const PaperExample& ex) {
+  Result<Algorithm> algorithm = ParseAlgorithm(ex.algorithm);
+  EXPECT_TRUE(algorithm.ok()) << algorithm.status();
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(ex.initial, ex.view, *algorithm);
+  sim->SetUpdateScript(ex.updates);
+  ScriptedPolicy policy(ex.actions);
+  Status run = RunToQuiescence(sim.get(), &policy);
+  EXPECT_TRUE(run.ok()) << ex.name << ": " << run;
+  return sim;
+}
+
+// Runs `algorithm` over the example's setup with a seeded random
+// interleaving and reports the observed consistency levels.
+inline ConsistencyReport RunRandomized(const Catalog& initial,
+                                       ViewDefinitionPtr view,
+                                       Algorithm algorithm,
+                                       const std::vector<Update>& updates,
+                                       uint64_t seed, int rv_period = 1,
+                                       int batch_size = 1) {
+  SimulationOptions options;
+  options.batch_size = batch_size;
+  std::unique_ptr<Simulation> sim =
+      MustMakeSim(initial, std::move(view), algorithm, options, rv_period);
+  sim->SetUpdateScript(updates);
+  RandomPolicy policy(seed);
+  Status run = RunToQuiescence(sim.get(), &policy);
+  EXPECT_TRUE(run.ok()) << run;
+  return CheckConsistency(sim->state_log());
+}
+
+}  // namespace wvm
+
+#endif  // WVM_TESTS_TEST_UTIL_H_

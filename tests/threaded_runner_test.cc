@@ -1,0 +1,72 @@
+// Tests running the maintenance algorithms on REAL threads: the paper's
+// atomic-event model is realized with locks, and convergence must survive
+// whatever interleavings the OS scheduler produces.
+#include "sim/threaded_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+struct ThreadedFixture {
+  Workload workload;
+  std::vector<Update> updates;
+
+  static ThreadedFixture Make(uint64_t seed, int64_t k) {
+    Random rng(seed);
+    Result<Workload> w = MakeExample6Workload({20, 2}, &rng);
+    EXPECT_TRUE(w.ok());
+    Result<std::vector<Update>> updates = MakeMixedUpdates(*w, k, 0.35, &rng);
+    EXPECT_TRUE(updates.ok());
+    return ThreadedFixture{std::move(*w), std::move(*updates)};
+  }
+};
+
+class ThreadedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreadedSweep, EcaConvergesUnderRealConcurrency) {
+  ThreadedFixture f = ThreadedFixture::Make(GetParam(), 16);
+  Result<ThreadedRunReport> report = RunThreaded(
+      f.workload.initial, f.workload.view, Algorithm::kEca, f.updates,
+      GetParam());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->converged)
+      << "warehouse " << report->final_view.ToString() << " vs source "
+      << report->source_view.ToString();
+  EXPECT_EQ(report->messages, 2 * 16);  // M_ECA = 2k survives threading
+}
+
+TEST_P(ThreadedSweep, LcaAndLocalVariantsConvergeToo) {
+  ThreadedFixture f = ThreadedFixture::Make(GetParam() + 100, 12);
+  for (Algorithm a : {Algorithm::kLca, Algorithm::kEcaLocal, Algorithm::kSc}) {
+    Result<ThreadedRunReport> report = RunThreaded(
+        f.workload.initial, f.workload.view, a, f.updates, GetParam());
+    ASSERT_TRUE(report.ok()) << AlgorithmName(a) << ": " << report.status();
+    EXPECT_TRUE(report->converged) << AlgorithmName(a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedSweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(ThreadedRunnerTest, EmptyStreamIsANoOp) {
+  ThreadedFixture f = ThreadedFixture::Make(5, 0);
+  Result<ThreadedRunReport> report = RunThreaded(
+      f.workload.initial, f.workload.view, Algorithm::kEca, {}, 5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->converged);
+  EXPECT_EQ(report->messages, 0);
+}
+
+TEST(ThreadedRunnerTest, SourceErrorsSurface) {
+  ThreadedFixture f = ThreadedFixture::Make(6, 0);
+  Result<ThreadedRunReport> report = RunThreaded(
+      f.workload.initial, f.workload.view, Algorithm::kEca,
+      {Update::Delete("r1", Tuple::Ints({-9, -9}))}, 6);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace wvm

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compensation.dir/bench_ablation_compensation.cpp.o"
+  "CMakeFiles/bench_ablation_compensation.dir/bench_ablation_compensation.cpp.o.d"
+  "bench_ablation_compensation"
+  "bench_ablation_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

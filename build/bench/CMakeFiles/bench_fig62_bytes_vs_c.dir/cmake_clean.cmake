@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig62_bytes_vs_c.dir/bench_fig62_bytes_vs_c.cpp.o"
+  "CMakeFiles/bench_fig62_bytes_vs_c.dir/bench_fig62_bytes_vs_c.cpp.o.d"
+  "bench_fig62_bytes_vs_c"
+  "bench_fig62_bytes_vs_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig62_bytes_vs_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig64_io_vs_k_s1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig65_io_vs_k_s2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_sc.dir/bench_hybrid_sc.cpp.o"
+  "CMakeFiles/bench_hybrid_sc.dir/bench_hybrid_sc.cpp.o.d"
+  "bench_hybrid_sc"
+  "bench_hybrid_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

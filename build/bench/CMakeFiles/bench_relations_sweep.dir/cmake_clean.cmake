@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relations_sweep.dir/bench_relations_sweep.cpp.o"
+  "CMakeFiles/bench_relations_sweep.dir/bench_relations_sweep.cpp.o.d"
+  "bench_relations_sweep"
+  "bench_relations_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relations_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_update_case.dir/bench_three_update_case.cpp.o"
+  "CMakeFiles/bench_three_update_case.dir/bench_three_update_case.cpp.o.d"
+  "bench_three_update_case"
+  "bench_three_update_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_update_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

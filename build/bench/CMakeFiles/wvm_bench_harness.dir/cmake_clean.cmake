@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/wvm_bench_harness.dir/harness.cc.o.d"
+  "libwvm_bench_harness.a"
+  "libwvm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_anomaly_tour "/root/repo/build/examples/anomaly_tour")
+set_tests_properties(example_anomaly_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_retail_warehouse "/root/repo/build/examples/retail_warehouse")
+set_tests_properties(example_retail_warehouse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_consistency_audit "/root/repo/build/examples/consistency_audit" "10" "6")
+set_tests_properties(example_consistency_audit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_source "/root/repo/build/examples/multi_source" "10")
+set_tests_properties(example_multi_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_advisor "/root/repo/build/examples/advisor")
+set_tests_properties(example_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_anomaly "/root/repo/build/examples/scenario_runner" "/root/repo/examples/scenarios/anomaly.wvm")
+set_tests_properties(example_scenario_anomaly PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_keyed "/root/repo/build/examples/scenario_runner" "/root/repo/examples/scenarios/keyed_deletes.wvm")
+set_tests_properties(example_scenario_keyed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_modify "/root/repo/build/examples/scenario_runner" "/root/repo/examples/scenarios/modify_batch.wvm")
+set_tests_properties(example_scenario_modify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_replicated "/root/repo/build/examples/scenario_runner" "/root/repo/examples/scenarios/replicated_dimensions.wvm")
+set_tests_properties(example_scenario_replicated PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

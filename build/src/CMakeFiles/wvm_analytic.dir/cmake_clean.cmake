@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_analytic.dir/analytic/advisor.cc.o"
+  "CMakeFiles/wvm_analytic.dir/analytic/advisor.cc.o.d"
+  "CMakeFiles/wvm_analytic.dir/analytic/cost_model.cc.o"
+  "CMakeFiles/wvm_analytic.dir/analytic/cost_model.cc.o.d"
+  "libwvm_analytic.a"
+  "libwvm_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/channel.cc" "src/CMakeFiles/wvm_channel.dir/channel/channel.cc.o" "gcc" "src/CMakeFiles/wvm_channel.dir/channel/channel.cc.o.d"
+  "/root/repo/src/channel/cost_meter.cc" "src/CMakeFiles/wvm_channel.dir/channel/cost_meter.cc.o" "gcc" "src/CMakeFiles/wvm_channel.dir/channel/cost_meter.cc.o.d"
+  "/root/repo/src/channel/message.cc" "src/CMakeFiles/wvm_channel.dir/channel/message.cc.o" "gcc" "src/CMakeFiles/wvm_channel.dir/channel/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_channel.dir/channel/channel.cc.o"
+  "CMakeFiles/wvm_channel.dir/channel/channel.cc.o.d"
+  "CMakeFiles/wvm_channel.dir/channel/cost_meter.cc.o"
+  "CMakeFiles/wvm_channel.dir/channel/cost_meter.cc.o.d"
+  "CMakeFiles/wvm_channel.dir/channel/message.cc.o"
+  "CMakeFiles/wvm_channel.dir/channel/message.cc.o.d"
+  "libwvm_channel.a"
+  "libwvm_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

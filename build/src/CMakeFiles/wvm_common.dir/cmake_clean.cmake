@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_common.dir/common/status.cc.o"
+  "CMakeFiles/wvm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/wvm_common.dir/common/strings.cc.o"
+  "CMakeFiles/wvm_common.dir/common/strings.cc.o.d"
+  "libwvm_common.a"
+  "libwvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/checker.cc" "src/CMakeFiles/wvm_consistency.dir/consistency/checker.cc.o" "gcc" "src/CMakeFiles/wvm_consistency.dir/consistency/checker.cc.o.d"
+  "/root/repo/src/consistency/staleness.cc" "src/CMakeFiles/wvm_consistency.dir/consistency/staleness.cc.o" "gcc" "src/CMakeFiles/wvm_consistency.dir/consistency/staleness.cc.o.d"
+  "/root/repo/src/consistency/state_log.cc" "src/CMakeFiles/wvm_consistency.dir/consistency/state_log.cc.o" "gcc" "src/CMakeFiles/wvm_consistency.dir/consistency/state_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

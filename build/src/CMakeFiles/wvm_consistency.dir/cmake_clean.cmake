@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_consistency.dir/consistency/checker.cc.o"
+  "CMakeFiles/wvm_consistency.dir/consistency/checker.cc.o.d"
+  "CMakeFiles/wvm_consistency.dir/consistency/staleness.cc.o"
+  "CMakeFiles/wvm_consistency.dir/consistency/staleness.cc.o.d"
+  "CMakeFiles/wvm_consistency.dir/consistency/state_log.cc.o"
+  "CMakeFiles/wvm_consistency.dir/consistency/state_log.cc.o.d"
+  "libwvm_consistency.a"
+  "libwvm_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwvm_consistency.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basic.cc" "src/CMakeFiles/wvm_core.dir/core/basic.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/basic.cc.o.d"
+  "/root/repo/src/core/composite_eca.cc" "src/CMakeFiles/wvm_core.dir/core/composite_eca.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/composite_eca.cc.o.d"
+  "/root/repo/src/core/deferred.cc" "src/CMakeFiles/wvm_core.dir/core/deferred.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/deferred.cc.o.d"
+  "/root/repo/src/core/eca.cc" "src/CMakeFiles/wvm_core.dir/core/eca.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/eca.cc.o.d"
+  "/root/repo/src/core/eca_batch.cc" "src/CMakeFiles/wvm_core.dir/core/eca_batch.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/eca_batch.cc.o.d"
+  "/root/repo/src/core/eca_key.cc" "src/CMakeFiles/wvm_core.dir/core/eca_key.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/eca_key.cc.o.d"
+  "/root/repo/src/core/eca_local.cc" "src/CMakeFiles/wvm_core.dir/core/eca_local.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/eca_local.cc.o.d"
+  "/root/repo/src/core/eca_sc.cc" "src/CMakeFiles/wvm_core.dir/core/eca_sc.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/eca_sc.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/wvm_core.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/lca.cc" "src/CMakeFiles/wvm_core.dir/core/lca.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/lca.cc.o.d"
+  "/root/repo/src/core/multi_view.cc" "src/CMakeFiles/wvm_core.dir/core/multi_view.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/multi_view.cc.o.d"
+  "/root/repo/src/core/rv.cc" "src/CMakeFiles/wvm_core.dir/core/rv.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/rv.cc.o.d"
+  "/root/repo/src/core/sc.cc" "src/CMakeFiles/wvm_core.dir/core/sc.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/sc.cc.o.d"
+  "/root/repo/src/core/warehouse.cc" "src/CMakeFiles/wvm_core.dir/core/warehouse.cc.o" "gcc" "src/CMakeFiles/wvm_core.dir/core/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

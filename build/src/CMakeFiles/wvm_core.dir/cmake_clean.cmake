@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_core.dir/core/basic.cc.o"
+  "CMakeFiles/wvm_core.dir/core/basic.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/composite_eca.cc.o"
+  "CMakeFiles/wvm_core.dir/core/composite_eca.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/deferred.cc.o"
+  "CMakeFiles/wvm_core.dir/core/deferred.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/eca.cc.o"
+  "CMakeFiles/wvm_core.dir/core/eca.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/eca_batch.cc.o"
+  "CMakeFiles/wvm_core.dir/core/eca_batch.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/eca_key.cc.o"
+  "CMakeFiles/wvm_core.dir/core/eca_key.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/eca_local.cc.o"
+  "CMakeFiles/wvm_core.dir/core/eca_local.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/eca_sc.cc.o"
+  "CMakeFiles/wvm_core.dir/core/eca_sc.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/factory.cc.o"
+  "CMakeFiles/wvm_core.dir/core/factory.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/lca.cc.o"
+  "CMakeFiles/wvm_core.dir/core/lca.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/multi_view.cc.o"
+  "CMakeFiles/wvm_core.dir/core/multi_view.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/rv.cc.o"
+  "CMakeFiles/wvm_core.dir/core/rv.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/sc.cc.o"
+  "CMakeFiles/wvm_core.dir/core/sc.cc.o.d"
+  "CMakeFiles/wvm_core.dir/core/warehouse.cc.o"
+  "CMakeFiles/wvm_core.dir/core/warehouse.cc.o.d"
+  "libwvm_core.a"
+  "libwvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

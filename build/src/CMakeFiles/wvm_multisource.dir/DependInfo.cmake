@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multisource/ms_eca.cc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_eca.cc.o" "gcc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_eca.cc.o.d"
+  "/root/repo/src/multisource/ms_eca_snapshot.cc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_eca_snapshot.cc.o" "gcc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_eca_snapshot.cc.o.d"
+  "/root/repo/src/multisource/ms_maintainer.cc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_maintainer.cc.o" "gcc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_maintainer.cc.o.d"
+  "/root/repo/src/multisource/ms_sc.cc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_sc.cc.o" "gcc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_sc.cc.o.d"
+  "/root/repo/src/multisource/ms_simulation.cc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_simulation.cc.o" "gcc" "src/CMakeFiles/wvm_multisource.dir/multisource/ms_simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_eca.cc.o"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_eca.cc.o.d"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_eca_snapshot.cc.o"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_eca_snapshot.cc.o.d"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_maintainer.cc.o"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_maintainer.cc.o.d"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_sc.cc.o"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_sc.cc.o.d"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_simulation.cc.o"
+  "CMakeFiles/wvm_multisource.dir/multisource/ms_simulation.cc.o.d"
+  "libwvm_multisource.a"
+  "libwvm_multisource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_multisource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/catalog.cc" "src/CMakeFiles/wvm_query.dir/query/catalog.cc.o" "gcc" "src/CMakeFiles/wvm_query.dir/query/catalog.cc.o.d"
+  "/root/repo/src/query/composite_view.cc" "src/CMakeFiles/wvm_query.dir/query/composite_view.cc.o" "gcc" "src/CMakeFiles/wvm_query.dir/query/composite_view.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/wvm_query.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/wvm_query.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/wvm_query.dir/query/query.cc.o" "gcc" "src/CMakeFiles/wvm_query.dir/query/query.cc.o.d"
+  "/root/repo/src/query/term.cc" "src/CMakeFiles/wvm_query.dir/query/term.cc.o" "gcc" "src/CMakeFiles/wvm_query.dir/query/term.cc.o.d"
+  "/root/repo/src/query/view_def.cc" "src/CMakeFiles/wvm_query.dir/query/view_def.cc.o" "gcc" "src/CMakeFiles/wvm_query.dir/query/view_def.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

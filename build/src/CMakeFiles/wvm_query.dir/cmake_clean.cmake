@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_query.dir/query/catalog.cc.o"
+  "CMakeFiles/wvm_query.dir/query/catalog.cc.o.d"
+  "CMakeFiles/wvm_query.dir/query/composite_view.cc.o"
+  "CMakeFiles/wvm_query.dir/query/composite_view.cc.o.d"
+  "CMakeFiles/wvm_query.dir/query/evaluator.cc.o"
+  "CMakeFiles/wvm_query.dir/query/evaluator.cc.o.d"
+  "CMakeFiles/wvm_query.dir/query/query.cc.o"
+  "CMakeFiles/wvm_query.dir/query/query.cc.o.d"
+  "CMakeFiles/wvm_query.dir/query/term.cc.o"
+  "CMakeFiles/wvm_query.dir/query/term.cc.o.d"
+  "CMakeFiles/wvm_query.dir/query/view_def.cc.o"
+  "CMakeFiles/wvm_query.dir/query/view_def.cc.o.d"
+  "libwvm_query.a"
+  "libwvm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/algebra.cc" "src/CMakeFiles/wvm_relational.dir/relational/algebra.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/algebra.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/CMakeFiles/wvm_relational.dir/relational/predicate.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/predicate.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/wvm_relational.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/wvm_relational.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/wvm_relational.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/update.cc" "src/CMakeFiles/wvm_relational.dir/relational/update.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/update.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/wvm_relational.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/wvm_relational.dir/relational/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

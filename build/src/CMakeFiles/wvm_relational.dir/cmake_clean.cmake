@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_relational.dir/relational/algebra.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/algebra.cc.o.d"
+  "CMakeFiles/wvm_relational.dir/relational/predicate.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/predicate.cc.o.d"
+  "CMakeFiles/wvm_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/wvm_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/schema.cc.o.d"
+  "CMakeFiles/wvm_relational.dir/relational/tuple.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/tuple.cc.o.d"
+  "CMakeFiles/wvm_relational.dir/relational/update.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/update.cc.o.d"
+  "CMakeFiles/wvm_relational.dir/relational/value.cc.o"
+  "CMakeFiles/wvm_relational.dir/relational/value.cc.o.d"
+  "libwvm_relational.a"
+  "libwvm_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_script.dir/script/scenario_parser.cc.o"
+  "CMakeFiles/wvm_script.dir/script/scenario_parser.cc.o.d"
+  "CMakeFiles/wvm_script.dir/script/scenario_runner.cc.o"
+  "CMakeFiles/wvm_script.dir/script/scenario_runner.cc.o.d"
+  "libwvm_script.a"
+  "libwvm_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_sim.dir/sim/policies.cc.o"
+  "CMakeFiles/wvm_sim.dir/sim/policies.cc.o.d"
+  "CMakeFiles/wvm_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/wvm_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/wvm_sim.dir/sim/threaded_runner.cc.o"
+  "CMakeFiles/wvm_sim.dir/sim/threaded_runner.cc.o.d"
+  "CMakeFiles/wvm_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/wvm_sim.dir/sim/trace.cc.o.d"
+  "libwvm_sim.a"
+  "libwvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_source.dir/source/physical_evaluator.cc.o"
+  "CMakeFiles/wvm_source.dir/source/physical_evaluator.cc.o.d"
+  "CMakeFiles/wvm_source.dir/source/source.cc.o"
+  "CMakeFiles/wvm_source.dir/source/source.cc.o.d"
+  "libwvm_source.a"
+  "libwvm_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

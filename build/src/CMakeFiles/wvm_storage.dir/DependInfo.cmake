@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/wvm_storage.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/wvm_storage.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/stored_relation.cc" "src/CMakeFiles/wvm_storage.dir/storage/stored_relation.cc.o" "gcc" "src/CMakeFiles/wvm_storage.dir/storage/stored_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wvm_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_storage.dir/storage/io_stats.cc.o"
+  "CMakeFiles/wvm_storage.dir/storage/io_stats.cc.o.d"
+  "CMakeFiles/wvm_storage.dir/storage/stored_relation.cc.o"
+  "CMakeFiles/wvm_storage.dir/storage/stored_relation.cc.o.d"
+  "libwvm_storage.a"
+  "libwvm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvm_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/wvm_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/wvm_workload.dir/workload/scenarios.cc.o"
+  "CMakeFiles/wvm_workload.dir/workload/scenarios.cc.o.d"
+  "libwvm_workload.a"
+  "libwvm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

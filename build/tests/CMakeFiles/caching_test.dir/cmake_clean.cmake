@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_test.dir/caching_test.cc.o"
+  "CMakeFiles/caching_test.dir/caching_test.cc.o.d"
+  "caching_test"
+  "caching_test.pdb"
+  "caching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

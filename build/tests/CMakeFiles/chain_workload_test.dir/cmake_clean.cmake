@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_workload_test.dir/chain_workload_test.cc.o"
+  "CMakeFiles/chain_workload_test.dir/chain_workload_test.cc.o.d"
+  "chain_workload_test"
+  "chain_workload_test.pdb"
+  "chain_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_meter_test.dir/channel_meter_test.cc.o"
+  "CMakeFiles/channel_meter_test.dir/channel_meter_test.cc.o.d"
+  "channel_meter_test"
+  "channel_meter_test.pdb"
+  "channel_meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_view_test.dir/composite_view_test.cc.o"
+  "CMakeFiles/composite_view_test.dir/composite_view_test.cc.o.d"
+  "composite_view_test"
+  "composite_view_test.pdb"
+  "composite_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

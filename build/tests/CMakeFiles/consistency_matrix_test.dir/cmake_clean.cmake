@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_matrix_test.dir/consistency_matrix_test.cc.o"
+  "CMakeFiles/consistency_matrix_test.dir/consistency_matrix_test.cc.o.d"
+  "consistency_matrix_test"
+  "consistency_matrix_test.pdb"
+  "consistency_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

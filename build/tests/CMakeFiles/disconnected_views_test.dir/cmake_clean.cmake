@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_views_test.dir/disconnected_views_test.cc.o"
+  "CMakeFiles/disconnected_views_test.dir/disconnected_views_test.cc.o.d"
+  "disconnected_views_test"
+  "disconnected_views_test.pdb"
+  "disconnected_views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

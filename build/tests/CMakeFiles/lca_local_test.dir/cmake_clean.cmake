@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lca_local_test.dir/lca_local_test.cc.o"
+  "CMakeFiles/lca_local_test.dir/lca_local_test.cc.o.d"
+  "lca_local_test"
+  "lca_local_test.pdb"
+  "lca_local_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lca_local_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_vs_analytic_test.dir/measured_vs_analytic_test.cc.o"
+  "CMakeFiles/measured_vs_analytic_test.dir/measured_vs_analytic_test.cc.o.d"
+  "measured_vs_analytic_test"
+  "measured_vs_analytic_test.pdb"
+  "measured_vs_analytic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_vs_analytic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

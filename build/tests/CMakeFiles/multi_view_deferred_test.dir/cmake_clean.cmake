@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_view_deferred_test.dir/multi_view_deferred_test.cc.o"
+  "CMakeFiles/multi_view_deferred_test.dir/multi_view_deferred_test.cc.o.d"
+  "multi_view_deferred_test"
+  "multi_view_deferred_test.pdb"
+  "multi_view_deferred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_view_deferred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

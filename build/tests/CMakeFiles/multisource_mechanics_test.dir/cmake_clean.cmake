@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisource_mechanics_test.dir/multisource_mechanics_test.cc.o"
+  "CMakeFiles/multisource_mechanics_test.dir/multisource_mechanics_test.cc.o.d"
+  "multisource_mechanics_test"
+  "multisource_mechanics_test.pdb"
+  "multisource_mechanics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisource_mechanics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_evaluator_test.dir/physical_evaluator_test.cc.o"
+  "CMakeFiles/physical_evaluator_test.dir/physical_evaluator_test.cc.o.d"
+  "physical_evaluator_test"
+  "physical_evaluator_test.pdb"
+  "physical_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

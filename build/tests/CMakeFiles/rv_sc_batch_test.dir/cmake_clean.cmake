@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rv_sc_batch_test.dir/rv_sc_batch_test.cc.o"
+  "CMakeFiles/rv_sc_batch_test.dir/rv_sc_batch_test.cc.o.d"
+  "rv_sc_batch_test"
+  "rv_sc_batch_test.pdb"
+  "rv_sc_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rv_sc_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stored_relation_test.dir/stored_relation_test.cc.o"
+  "CMakeFiles/stored_relation_test.dir/stored_relation_test.cc.o.d"
+  "stored_relation_test"
+  "stored_relation_test.pdb"
+  "stored_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stored_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

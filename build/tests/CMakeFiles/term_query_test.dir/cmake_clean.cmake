@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_query_test.dir/term_query_test.cc.o"
+  "CMakeFiles/term_query_test.dir/term_query_test.cc.o.d"
+  "term_query_test"
+  "term_query_test.pdb"
+  "term_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

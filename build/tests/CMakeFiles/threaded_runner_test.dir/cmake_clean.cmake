@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_runner_test.dir/threaded_runner_test.cc.o"
+  "CMakeFiles/threaded_runner_test.dir/threaded_runner_test.cc.o.d"
+  "threaded_runner_test"
+  "threaded_runner_test.pdb"
+  "threaded_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -73,12 +73,19 @@ void PrintFigure() {
       "Chain length sweep: ECA vs recompute-once RV "
       "(C=60, J=3, k=2n inserts, Scenario 1)",
       {"relations", "ECA B", "RV B", "ECA IO", "RV IO"});
+  JsonReport json;
   for (int n = 2; n <= 6; ++n) {
     SweepResult eca = RunChain(n, Algorithm::kEca, 1);
     SweepResult rv = RunChain(n, Algorithm::kRv, 2 * n);
     PrintTableRow({Num(n), Num(eca.bytes), Num(rv.bytes), Num(eca.io),
                    Num(rv.io)});
+    json.Begin(StrCat("chain_sweep/n=", n));
+    json.Metric("eca_bytes", eca.bytes);
+    json.Metric("rv_bytes", rv.bytes);
+    json.Metric("eca_io", eca.io);
+    json.Metric("rv_io", rv.io);
   }
+  json.WriteFileFromEnv();
   std::cout << "(bytes: the view — and RV's shipping cost — grows with the "
                "join product while ECA's\n per-update deltas stay small, so "
                "the paper's extrapolation holds at every n. IO: with\n "

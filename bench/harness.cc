@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -120,6 +121,86 @@ std::string Num(double v) {
     os << std::fixed << v;
   }
   return os.str();
+}
+
+namespace {
+
+// JSON string escaping for the handful of characters record names can hold.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonReport::Begin(const std::string& name) {
+  records_.push_back(Record{name, {}});
+}
+
+void JsonReport::Metric(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  records_.back().metrics.emplace_back(key, os.str());
+}
+
+void JsonReport::Metric(const std::string& key, int64_t value) {
+  records_.back().metrics.emplace_back(key, std::to_string(value));
+}
+
+std::string JsonReport::ToString() const {
+  std::ostringstream os;
+  os << "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    os << "    {\"name\": \"" << JsonEscape(records_[i].name) << "\"";
+    for (const auto& [key, value] : records_[i].metrics) {
+      os << ", \"" << JsonEscape(key) << "\": " << value;
+    }
+    os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+bool JsonReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string body = ToString();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool JsonReport::WriteFileFromEnv(const char* env_var) const {
+  const char* path = std::getenv(env_var);
+  if (path == nullptr || *path == '\0') {
+    return false;
+  }
+  if (!WriteFile(path)) {
+    std::cerr << "warning: could not write JSON report to " << path << "\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace wvm::bench

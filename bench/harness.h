@@ -69,6 +69,34 @@ void PrintTableHeader(const std::string& title,
 void PrintTableRow(const std::vector<std::string>& cells);
 std::string Num(double v);
 
+/// Machine-readable companion to the printed tables: collects named records
+/// of numeric metrics and serializes them as
+///   {"benchmarks": [{"name": "...", "<metric>": <value>, ...}, ...]}
+/// so runs can be diffed or tracked without re-parsing table text.
+class JsonReport {
+ public:
+  /// Starts a record; subsequent Metric calls attach to it.
+  void Begin(const std::string& name);
+  void Metric(const std::string& key, double value);
+  void Metric(const std::string& key, int64_t value);
+
+  std::string ToString() const;
+
+  /// Writes the report to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  /// Writes to the path named by the environment variable `env_var` (used
+  /// as `WVM_BENCH_JSON=out.json ./bench_...`); no-op when it is unset.
+  bool WriteFileFromEnv(const char* env_var = "WVM_BENCH_JSON") const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> metrics;
+  };
+  std::vector<Record> records_;
+};
+
 }  // namespace wvm::bench
 
 #endif  // WVM_BENCH_HARNESS_H_

@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace wvm {
+
+namespace {
+
+// Set while a pool worker is executing a task, so ParallelFor from inside a
+// task degrades to serial instead of deadlocking on a saturated pool.
+thread_local bool t_in_pool_worker = false;
+
+size_t SharedPoolSize() {
+  if (const char* env = std::getenv("WVM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(SharedPoolSize());
+  return pool;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ThreadPool& pool = ThreadPool::Shared();
+  if (n < 2 || pool.num_threads() < 2 || t_in_pool_worker) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  } latch;
+  latch.remaining = n;
+
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([i, &fn, &latch] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) {
+        latch.cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
+}  // namespace wvm

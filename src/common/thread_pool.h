@@ -1,0 +1,54 @@
+#ifndef WVM_COMMON_THREAD_POOL_H_
+#define WVM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wvm {
+
+/// A fixed-size worker pool with an unbounded FIFO task queue. Tasks must
+/// not throw (the codebase reports failure via Status, not exceptions).
+/// The destructor finishes already-queued tasks and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; never blocks. A pool constructed with zero threads
+  /// runs the task inline.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool. Sized by the WVM_THREADS environment variable when
+  /// set (0 or 1 disables parallelism), otherwise by hardware concurrency.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1) on the shared pool and blocks until all calls
+/// have finished. Falls back to a plain serial loop when the pool has fewer
+/// than two workers, n < 2, or the caller is itself a pool worker (nested
+/// fan-out would deadlock a bounded pool). `fn` must be safe to invoke
+/// concurrently from multiple threads for distinct indices.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace wvm
+
+#endif  // WVM_COMMON_THREAD_POOL_H_

@@ -104,20 +104,41 @@ Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
   }
 
   // Equi-join edges from top-level conjuncts of the form attr = attr.
+  // Conjuncts that do not become an edge spanning two different base
+  // relations accumulate into the residual condition, which join-based
+  // evaluators apply after enforcing every edge during the joins.
+  const auto relation_of_column = [&view](size_t col) {
+    size_t r = 0;
+    while (r + 1 < view->relation_offsets_.size() &&
+           view->relation_offsets_[r + 1] <= col) {
+      ++r;
+    }
+    return r;
+  };
   for (const Predicate& conjunct : view->cond_.TopLevelConjuncts()) {
     std::optional<Predicate::ComparisonLeaf> leaf = conjunct.AsComparison();
-    if (!leaf.has_value() || leaf->op != CompareOp::kEq ||
-        !leaf->lhs.is_attr() || !leaf->rhs.is_attr()) {
-      continue;
+    bool spanning_edge = false;
+    if (leaf.has_value() && leaf->op == CompareOp::kEq &&
+        leaf->lhs.is_attr() && leaf->rhs.is_attr()) {
+      std::optional<size_t> l =
+          view->combined_schema_.IndexOf(leaf->lhs.attr_name());
+      std::optional<size_t> r =
+          view->combined_schema_.IndexOf(leaf->rhs.attr_name());
+      if (l.has_value() && r.has_value() && *l != *r) {
+        view->equi_edges_.push_back(EquiEdge{*l, *r});
+        spanning_edge = relation_of_column(*l) != relation_of_column(*r);
+      }
     }
-    std::optional<size_t> l =
-        view->combined_schema_.IndexOf(leaf->lhs.attr_name());
-    std::optional<size_t> r =
-        view->combined_schema_.IndexOf(leaf->rhs.attr_name());
-    if (l.has_value() && r.has_value() && *l != *r) {
-      view->equi_edges_.push_back(EquiEdge{*l, *r});
+    if (!spanning_edge) {
+      view->residual_cond_ = view->residual_cond_.IsTrue()
+                                 ? conjunct
+                                 : Predicate::And(
+                                       std::move(view->residual_cond_),
+                                       conjunct);
     }
   }
+  WVM_ASSIGN_OR_RETURN(view->residual_bound_cond_,
+                       view->residual_cond_.Bind(view->combined_schema_));
 
   return std::shared_ptr<const ViewDefinition>(std::move(view));
 }

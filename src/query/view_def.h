@@ -65,6 +65,17 @@ class ViewDefinition {
   const Predicate& cond() const { return cond_; }
   const BoundPredicate& bound_cond() const { return bound_cond_; }
 
+  /// The conjuncts of `cond` that equi-join planning does NOT enforce:
+  /// everything except top-level attr = attr equalities spanning two
+  /// different base relations (those are the equi_edges()). An evaluator
+  /// that applies every spanning equi-edge while joining only needs to
+  /// apply this residual to the joined result; evaluators that join by
+  /// plain cross product (e.g. EvaluateTermNaive) must use bound_cond().
+  const Predicate& residual_cond() const { return residual_cond_; }
+  const BoundPredicate& residual_bound_cond() const {
+    return residual_bound_cond_;
+  }
+
   /// True if for every base relation, all of its key attributes are present
   /// in the projection and the relation declares at least one key attribute.
   /// This is the applicability condition of ECA-Key (Section 5.4).
@@ -99,6 +110,8 @@ class ViewDefinition {
   std::vector<size_t> projection_indices_;
   Predicate cond_;
   BoundPredicate bound_cond_;
+  Predicate residual_cond_;
+  BoundPredicate residual_bound_cond_;
   bool has_all_base_keys_ = false;
   std::vector<EquiEdge> equi_edges_;
 };

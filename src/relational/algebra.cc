@@ -1,8 +1,10 @@
 #include "relational/algebra.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <utility>
 
 #include "common/strings.h"
+#include "relational/join_index.h"
 
 namespace wvm {
 
@@ -12,10 +14,21 @@ Result<Relation> Select(const Relation& r, const Predicate& cond) {
 }
 
 Relation SelectBound(const Relation& r, const BoundPredicate& cond) {
+  if (cond.IsTrue()) {
+    return r;  // identity selection: share storage, no copy
+  }
   Relation out(r.schema());
+  if (r.IsEmpty()) {
+    return out;
+  }
+  // Reserve for the input size: selections in the data plane (residual
+  // conditions, the W>Z filter of Example 6) typically keep a large
+  // fraction of rows, and over-sizing is cheaper than rehashing mid-scan.
+  out.Reserve(r.NumDistinct());
+  Relation::CountsMap& m = out.MutableEntries();
   for (const auto& [t, c] : r.entries()) {
     if (cond.Eval(t)) {
-      out.Insert(t, c);
+      m.AddCount(t, c);
     }
   }
   return out;
@@ -30,9 +43,27 @@ Result<Relation> Project(const Relation& r,
 
 Relation ProjectIndices(const Relation& r,
                         const std::vector<size_t>& indices) {
+  // Identity projection keeps every column in place: relabel-free share.
+  if (indices.size() == r.schema().size()) {
+    bool identity = true;
+    for (size_t i = 0; i < indices.size(); ++i) {
+      if (indices[i] != i) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) {
+      return r;
+    }
+  }
   Relation out(r.schema().Project(indices));
+  if (r.IsEmpty()) {
+    return out;
+  }
+  out.Reserve(r.NumDistinct());
+  Relation::CountsMap& m = out.MutableEntries();
   for (const auto& [t, c] : r.entries()) {
-    out.Insert(t.Project(indices), c);
+    m.AddCount(t.Project(indices), c);
   }
   return out;
 }
@@ -40,9 +71,18 @@ Relation ProjectIndices(const Relation& r,
 Result<Relation> CrossProduct(const Relation& a, const Relation& b) {
   WVM_ASSIGN_OR_RETURN(Schema schema, a.schema().Concat(b.schema()));
   Relation out(std::move(schema));
+  const size_t an = a.NumDistinct();
+  const size_t bn = b.NumDistinct();
+  if (an != 0 && bn != 0) {
+    // Cap the pre-size: huge cross products should grow as they go rather
+    // than reserve quadratic memory up front.
+    constexpr size_t kMaxReserve = size_t{1} << 20;
+    out.Reserve(an < kMaxReserve / bn ? an * bn : kMaxReserve);
+  }
+  Relation::CountsMap& m = out.MutableEntries();
   for (const auto& [ta, ca] : a.entries()) {
     for (const auto& [tb, cb] : b.entries()) {
-      out.Insert(ta.Concat(tb), ca * cb);
+      m.AddCount(ta.Concat(tb), ca * cb);
     }
   }
   return out;
@@ -75,21 +115,37 @@ Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
   }
   Relation out(Schema(std::move(out_attrs)));
 
-  // Hash b on its shared columns.
-  std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHash>
-      b_by_key;
-  for (const auto& [tb, cb] : b.entries()) {
-    b_by_key[tb.Project(b_shared)].emplace_back(tb.Project(b_rest), cb);
+  // Hash the smaller input on its shared columns; probe the larger with
+  // allocation-free key views. Output rows are a-then-b-rest either way.
+  const bool build_a = a.NumDistinct() <= b.NumDistinct();
+  const Relation& build = build_a ? a : b;
+  const std::vector<size_t>& build_keys = build_a ? a_shared : b_shared;
+  const Relation& probe = build_a ? b : a;
+  const std::vector<size_t>& probe_keys = build_a ? b_shared : a_shared;
+
+  JoinBuildIndex table(build_keys);
+  table.Reserve(build.NumDistinct());
+  for (const auto& [t, c] : build.entries()) {
+    table.Add(t, c);
   }
 
-  for (const auto& [ta, ca] : a.entries()) {
-    auto it = b_by_key.find(ta.Project(a_shared));
-    if (it == b_by_key.end()) {
-      continue;
-    }
-    for (const auto& [tb_rest, cb] : it->second) {
-      out.Insert(ta.Concat(tb_rest), ca * cb);
-    }
+  // Pre-size the output for the expected match count: probe rows times the
+  // build side's average rows per distinct key.
+  if (!table.empty()) {
+    constexpr size_t kMaxReserve = size_t{1} << 20;
+    const size_t per_key =
+        std::max<size_t>(1, table.num_rows() / table.num_keys());
+    const size_t probe_n = probe.NumDistinct();
+    out.Reserve(probe_n < kMaxReserve / per_key ? probe_n * per_key
+                                                : kMaxReserve);
+  }
+  Relation::CountsMap& m = out.MutableEntries();
+  for (const auto& [t, c] : probe.entries()) {
+    table.ForEachMatch(t, probe_keys, [&](const Tuple& bt, int64_t bc) {
+      const Tuple& ta = build_a ? bt : t;
+      const Tuple& tb = build_a ? t : bt;
+      m.AddCount(ta.ConcatProjected(tb, b_rest), c * bc);
+    });
   }
   return out;
 }

@@ -1,0 +1,145 @@
+#ifndef WVM_RELATIONAL_JOIN_INDEX_H_
+#define WVM_RELATIONAL_JOIN_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace wvm {
+
+/// Build-side index for the hash-join kernels: a chained hash table from a
+/// key (selected columns of a build row) to the build rows carrying that
+/// key. Rows are referenced by pointer — the build relation must stay alive
+/// and unmodified while the index is probed.
+///
+/// Unlike an unordered_map<Tuple, vector<rows>>, building this index never
+/// materializes a key tuple (the key hash is folded straight from the build
+/// row's column values, exactly as TupleKeyView does) and performs no
+/// per-key node or per-group vector allocation: all entries live in one
+/// contiguous array, chained through `next` indices, and buckets are a flat
+/// array of entry indices.
+class JoinBuildIndex {
+ public:
+  /// `key_cols` must outlive the index.
+  explicit JoinBuildIndex(const std::vector<size_t>& key_cols)
+      : key_cols_(&key_cols) {}
+
+  /// Pre-sizes for `n` build rows.
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    size_t cap = kMinBuckets;
+    while (n > cap) {
+      cap <<= 1;
+    }
+    Rebucket(cap);
+  }
+
+  size_t num_rows() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Number of distinct keys seen so far (maintained during Add).
+  size_t num_keys() const { return num_keys_; }
+
+  /// Indexes one build row. `row` is captured by pointer.
+  void Add(const Tuple& row, int64_t count) {
+    if (entries_.size() == buckets_.size()) {
+      Rebucket(buckets_.size() * 2);
+    }
+    const size_t h = KeyHash(row, *key_cols_);
+    const size_t b = BucketOf(h);
+    // A row with a previously seen key chains behind a row that carries it;
+    // walking the chain at probe time revisits every row of the key.
+    bool seen = false;
+    for (uint32_t e = buckets_[b]; e != kNil; e = entries_[e].next) {
+      if (entries_[e].hash == h &&
+          KeysEqual(*entries_[e].row, *key_cols_, row, *key_cols_)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      ++num_keys_;
+    }
+    entries_.push_back(Entry{h, &row, count, buckets_[b]});
+    buckets_[b] = static_cast<uint32_t>(entries_.size() - 1);
+  }
+
+  /// Invokes fn(build_row, build_count) for every build row whose key equals
+  /// `probe`'s `probe_cols` projection.
+  template <typename Fn>
+  void ForEachMatch(const Tuple& probe, const std::vector<size_t>& probe_cols,
+                    Fn&& fn) const {
+    if (entries_.empty()) {
+      return;
+    }
+    const size_t h = KeyHash(probe, probe_cols);
+    for (uint32_t e = buckets_[BucketOf(h)]; e != kNil; e = entries_[e].next) {
+      if (entries_[e].hash == h &&
+          KeysEqual(*entries_[e].row, *key_cols_, probe, probe_cols)) {
+        fn(*entries_[e].row, entries_[e].count);
+      }
+    }
+  }
+
+  /// Same fold as TupleKeyView: equal to row.Project(cols).Hash().
+  static size_t KeyHash(const Tuple& row, const std::vector<size_t>& cols) {
+    size_t h = kTupleHashSeed;
+    for (size_t c : cols) {
+      h = TupleHashFold(h, row.value(c).Hash());
+    }
+    return h;
+  }
+
+ private:
+  struct Entry {
+    size_t hash;
+    const Tuple* row;
+    int64_t count;
+    uint32_t next;
+  };
+
+  static constexpr uint32_t kNil = 0xffffffffu;
+  static constexpr size_t kMinBuckets = 16;
+
+  static bool KeysEqual(const Tuple& a, const std::vector<size_t>& a_cols,
+                        const Tuple& b, const std::vector<size_t>& b_cols) {
+    for (size_t i = 0; i < a_cols.size(); ++i) {
+      if (a.value(a_cols[i]) != b.value(b_cols[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Fibonacci bucket mapping, as in FlatCountsMap: key hashes of
+  // correlated values are themselves correlated, and the multiply spreads
+  // them before the power-of-two truncation.
+  size_t BucketOf(size_t h) const {
+    return (h * size_t{0x9e3779b97f4a7c15ULL}) >> shift_;
+  }
+
+  void Rebucket(size_t new_buckets) {
+    buckets_.assign(new_buckets, kNil);
+    shift_ = 64;
+    for (size_t cap = new_buckets; cap > 1; cap >>= 1) {
+      --shift_;
+    }
+    for (uint32_t e = 0; e < entries_.size(); ++e) {
+      const size_t b = BucketOf(entries_[e].hash);
+      entries_[e].next = buckets_[b];
+      buckets_[b] = e;
+    }
+  }
+
+  const std::vector<size_t>* key_cols_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> buckets_{std::vector<uint32_t>(kMinBuckets, kNil)};
+  size_t num_keys_ = 0;
+  int shift_ = 60;  // 64 - log2(kMinBuckets)
+};
+
+}  // namespace wvm
+
+#endif  // WVM_RELATIONAL_JOIN_INDEX_H_

@@ -49,6 +49,9 @@ class BoundPredicate {
   /// Always-true predicate.
   BoundPredicate() = default;
 
+  /// True iff this is the trivially-true predicate (selection is identity).
+  bool IsTrue() const { return root_ == nullptr; }
+
   bool Eval(const Tuple& tuple) const;
 
  private:

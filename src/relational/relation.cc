@@ -11,6 +11,20 @@ std::string SignedTuple::ToString() const {
   return (sign < 0 ? "-" : "") + tuple.ToString();
 }
 
+const Relation::CountsMap& Relation::EmptyCounts() {
+  static const CountsMap* empty = new CountsMap();
+  return *empty;
+}
+
+Relation::CountsMap& Relation::Mutable() {
+  if (!counts_) {
+    counts_ = std::make_shared<CountsMap>();
+  } else if (counts_.use_count() > 1) {
+    counts_ = std::make_shared<CountsMap>(*counts_);
+  }
+  return *counts_;
+}
+
 Relation Relation::FromTuples(Schema schema,
                               std::initializer_list<Tuple> tuples) {
   Relation r(std::move(schema));
@@ -28,27 +42,41 @@ Relation Relation::FromTuples(Schema schema, const std::vector<Tuple>& tuples) {
   return r;
 }
 
+Relation Relation::WithSchema(Schema schema) const {
+  Relation out(std::move(schema));
+  out.counts_ = counts_;
+  return out;
+}
+
+void Relation::Reserve(size_t n) {
+  if (n > 0) {
+    Mutable().reserve(n);
+  }
+}
+
 void Relation::Insert(const Tuple& tuple, int64_t count) {
   if (count == 0) {
     return;
   }
-  auto [it, inserted] = counts_.try_emplace(tuple, count);
-  if (!inserted) {
-    it->second += count;
-    if (it->second == 0) {
-      counts_.erase(it);
-    }
+  Mutable().AddCount(tuple, count);
+}
+
+void Relation::Insert(Tuple&& tuple, int64_t count) {
+  if (count == 0) {
+    return;
   }
+  Mutable().AddCount(std::move(tuple), count);
 }
 
 int64_t Relation::CountOf(const Tuple& tuple) const {
-  auto it = counts_.find(tuple);
-  return it == counts_.end() ? 0 : it->second;
+  const CountsMap& counts = entries();
+  auto it = counts.find(tuple);
+  return it == counts.end() ? 0 : it->second;
 }
 
 int64_t Relation::TotalPositive() const {
   int64_t total = 0;
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : entries()) {
     if (c > 0) {
       total += c;
     }
@@ -58,14 +86,14 @@ int64_t Relation::TotalPositive() const {
 
 int64_t Relation::TotalAbsolute() const {
   int64_t total = 0;
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : entries()) {
     total += std::abs(c);
   }
   return total;
 }
 
 bool Relation::HasNegative() const {
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : entries()) {
     if (c < 0) {
       return true;
     }
@@ -74,26 +102,56 @@ bool Relation::HasNegative() const {
 }
 
 void Relation::Add(const Relation& other) {
-  for (const auto& [t, c] : other.counts_) {
+  if (other.IsEmpty()) {
+    return;
+  }
+  if (IsEmpty() && schema_.size() == other.schema_.size()) {
+    // Adding into an empty relation is a copy: share the other's storage.
+    counts_ = other.counts_;
+    return;
+  }
+  for (const auto& [t, c] : other.entries()) {
     Insert(t, c);
   }
 }
 
 Relation Relation::Negated() const {
   Relation out(schema_);
-  for (const auto& [t, c] : counts_) {
-    out.counts_.emplace(t, -c);
+  if (!IsEmpty()) {
+    CountsMap& m = out.Mutable();
+    m.reserve(entries().size());
+    for (const auto& [t, c] : entries()) {
+      m.EmplaceUnique(t, -c);
+    }
   }
   return out;
 }
 
-void Relation::Clear() { counts_.clear(); }
+Relation Relation::Scaled(int64_t factor) const {
+  if (factor == 1) {
+    return *this;
+  }
+  if (factor == -1) {
+    return Negated();
+  }
+  Relation out(schema_);
+  if (factor != 0 && !IsEmpty()) {
+    CountsMap& m = out.Mutable();
+    m.reserve(entries().size());
+    for (const auto& [t, c] : entries()) {
+      m.EmplaceUnique(t, c * factor);
+    }
+  }
+  return out;
+}
+
+void Relation::Clear() { counts_.reset(); }
 
 Relation Relation::Positive() const {
   Relation out(schema_);
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : entries()) {
     if (c > 0) {
-      out.counts_.emplace(t, c);
+      out.Mutable().EmplaceUnique(t, c);
     }
   }
   return out;
@@ -101,9 +159,9 @@ Relation Relation::Positive() const {
 
 Relation Relation::NegativePart() const {
   Relation out(schema_);
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : entries()) {
     if (c < 0) {
-      out.counts_.emplace(t, -c);
+      out.Mutable().EmplaceUnique(t, -c);
     }
   }
   return out;
@@ -111,25 +169,29 @@ Relation Relation::NegativePart() const {
 
 int64_t Relation::ByteSize() const {
   int64_t bytes = 0;
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : entries()) {
     bytes += std::abs(c) * t.ByteWidth();
   }
   return bytes;
 }
 
 std::vector<std::pair<Tuple, int64_t>> Relation::SortedEntries() const {
-  std::vector<std::pair<Tuple, int64_t>> entries(counts_.begin(),
-                                                 counts_.end());
-  std::sort(entries.begin(), entries.end(),
+  const CountsMap& counts = entries();
+  std::vector<std::pair<Tuple, int64_t>> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  return entries;
+  return sorted;
 }
 
 bool Relation::operator==(const Relation& other) const {
-  if (counts_.size() != other.counts_.size()) {
+  if (counts_ == other.counts_) {
+    return true;  // shared storage (covers both-empty)
+  }
+  const CountsMap& counts = entries();
+  if (counts.size() != other.entries().size()) {
     return false;
   }
-  for (const auto& [t, c] : counts_) {
+  for (const auto& [t, c] : counts) {
     if (other.CountOf(t) != c) {
       return false;
     }

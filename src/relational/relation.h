@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "relational/flat_counts_map.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 
@@ -44,8 +45,18 @@ struct SignedTuple {
 /// Duplicate retention is required for incremental deletes (Section 1.1), and
 /// the group structure of + (rather than set/monus semantics) is what makes
 /// the compensation identity of Lemma B.2 hold.
+///
+/// Tuple storage is copy-on-write: copying a Relation (and WithSchema, which
+/// relabels the schema only) shares the underlying map; the first mutation of
+/// a shared relation clones it. Sharing is what lets the evaluator hand a
+/// stored relation to a join under a qualified schema without copying a
+/// single tuple. Concurrent *reads* of relations sharing storage are safe;
+/// mutating a Relation object concurrently with copying or reading that same
+/// object is not (the usual container contract).
 class Relation {
  public:
+  using CountsMap = FlatCountsMap;
+
   Relation() = default;
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
@@ -56,15 +67,24 @@ class Relation {
 
   const Schema& schema() const { return schema_; }
 
+  /// Zero-copy relabel: same tuples and multiplicities under a different
+  /// schema (which must have the same arity). Storage is shared with *this
+  /// until either relation is mutated.
+  Relation WithSchema(Schema schema) const;
+
+  /// Pre-sizes the tuple map for about `n` distinct tuples.
+  void Reserve(size_t n);
+
   /// Adds `count` copies of `tuple` (negative count = minus-signed copies).
   /// Entries whose multiplicity reaches zero are removed.
   void Insert(const Tuple& tuple, int64_t count = 1);
+  void Insert(Tuple&& tuple, int64_t count = 1);
 
   /// Multiplicity of `tuple` (0 if absent).
   int64_t CountOf(const Tuple& tuple) const;
 
   /// Number of distinct tuples with non-zero multiplicity.
-  size_t NumDistinct() const { return counts_.size(); }
+  size_t NumDistinct() const { return entries().size(); }
 
   /// Sum of positive multiplicities (the paper's tuple count for a relation
   /// in a valid state).
@@ -73,7 +93,7 @@ class Relation {
   /// Sum of |multiplicity| over all tuples; the "size" of a signed answer.
   int64_t TotalAbsolute() const;
 
-  bool IsEmpty() const { return counts_.empty(); }
+  bool IsEmpty() const { return entries().empty(); }
 
   /// True if any tuple has negative multiplicity.
   bool HasNegative() const;
@@ -83,6 +103,10 @@ class Relation {
 
   /// Negates every multiplicity (unary minus on signed relations).
   Relation Negated() const;
+
+  /// Every multiplicity times `factor`; factor 1 shares storage (no copy)
+  /// and factor 0 is the empty relation. Used to apply term coefficients.
+  Relation Scaled(int64_t factor) const;
 
   /// Removes all tuples.
   void Clear();
@@ -100,9 +124,15 @@ class Relation {
   /// Multiplicity-preserving deterministic snapshot, sorted by tuple.
   std::vector<std::pair<Tuple, int64_t>> SortedEntries() const;
 
-  const std::unordered_map<Tuple, int64_t, TupleHash>& entries() const {
-    return counts_;
+  const CountsMap& entries() const {
+    return counts_ ? *counts_ : EmptyCounts();
   }
+
+  /// The mutable counts map, un-sharing storage first if needed. Join
+  /// kernels hoist this out of their emit loops so the copy-on-write check
+  /// is paid once per output relation, not once per output row; most callers
+  /// should prefer Insert.
+  CountsMap& MutableEntries() { return Mutable(); }
 
   /// Equal iff same multiplicity for every tuple (schemas must agree in
   /// width; attribute names are not compared so that a projected answer can
@@ -118,8 +148,13 @@ class Relation {
   std::string ToString() const;
 
  private:
+  static const CountsMap& EmptyCounts();
+
+  /// The mutable map, cloned first if storage is currently shared.
+  CountsMap& Mutable();
+
   Schema schema_;
-  std::unordered_map<Tuple, int64_t, TupleHash> counts_;
+  std::shared_ptr<CountsMap> counts_;  // null = empty
 };
 
 std::ostream& operator<<(std::ostream& os, const Relation& r);

@@ -24,9 +24,38 @@ Tuple Tuple::Project(const std::vector<size_t>& indices) const {
 }
 
 Tuple Tuple::Concat(const Tuple& other) const {
-  std::vector<Value> values = values_;
+  std::vector<Value> values;
+  values.reserve(values_.size() + other.values_.size());
+  values.insert(values.end(), values_.begin(), values_.end());
   values.insert(values.end(), other.values_.begin(), other.values_.end());
-  return Tuple(std::move(values));
+  Tuple out(std::move(values));
+  size_t h = hash_.load(std::memory_order_relaxed);
+  if (h != kUnset) {
+    for (const Value& v : other.values_) {
+      h = TupleHashFold(h, v.Hash());
+    }
+    out.hash_.store(h, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Tuple Tuple::ConcatProjected(const Tuple& other,
+                             const std::vector<size_t>& other_indices) const {
+  std::vector<Value> values;
+  values.reserve(values_.size() + other_indices.size());
+  values.insert(values.end(), values_.begin(), values_.end());
+  for (size_t i : other_indices) {
+    values.push_back(other.values_[i]);
+  }
+  Tuple out(std::move(values));
+  size_t h = hash_.load(std::memory_order_relaxed);
+  if (h != kUnset) {
+    for (size_t i : other_indices) {
+      h = TupleHashFold(h, other.values_[i].Hash());
+    }
+    out.hash_.store(h, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 int Tuple::ByteWidth() const {
@@ -37,10 +66,10 @@ int Tuple::ByteWidth() const {
   return width;
 }
 
-size_t Tuple::Hash() const {
-  size_t h = 0x9e3779b97f4a7c15ULL;
+size_t Tuple::ComputeHash() const {
+  size_t h = kTupleHashSeed;
   for (const Value& v : values_) {
-    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    h = TupleHashFold(h, v.Hash());
   }
   return h;
 }

@@ -1,6 +1,7 @@
 #ifndef WVM_RELATIONAL_TUPLE_H_
 #define WVM_RELATIONAL_TUPLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
@@ -11,14 +12,53 @@
 
 namespace wvm {
 
+/// Hash-combining fold used for tuple hashing: a left fold of per-value
+/// hashes starting at kTupleHashSeed. Exposed so that key views and
+/// concatenations can reproduce (or extend) a tuple's hash from per-value
+/// hashes without re-walking the tuple:
+///
+///   Hash([v0..vn]) = Fold(...Fold(Fold(seed, h(v0)), h(v1))..., h(vn))
+///
+/// and therefore Hash(a ++ b) = fold of b's value hashes onto Hash(a).
+inline constexpr size_t kTupleHashSeed = 0x9e3779b97f4a7c15ULL;
+
+inline size_t TupleHashFold(size_t h, size_t value_hash) {
+  return h ^ (value_hash + 0x9e3779b9 + (h << 6) + (h >> 2));
+}
+
 /// A row: an ordered list of values. The tuple itself is unsigned; the sign
 /// (+ existing/inserted, - deleted) of the paper's signed-tuple algebra lives
 /// in the multiplicity a Relation associates with the tuple, and in the
 /// explicit `sign` of a bound tuple inside a query term.
+///
+/// Tuples are immutable after construction (there is no mutating accessor),
+/// which is the invariant that makes the memoized hash below safe: the hash
+/// is computed from the values at most once and cached. The cache is an
+/// atomic so concurrent readers (parallel term evaluation hashes shared
+/// catalog tuples) are race-free; racing writers store the same value.
 class Tuple {
  public:
   Tuple() = default;
   explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  Tuple(const Tuple& other)
+      : values_(other.values_),
+        hash_(other.hash_.load(std::memory_order_relaxed)) {}
+  Tuple(Tuple&& other) noexcept
+      : values_(std::move(other.values_)),
+        hash_(other.hash_.load(std::memory_order_relaxed)) {}
+  Tuple& operator=(const Tuple& other) {
+    values_ = other.values_;
+    hash_.store(other.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    values_ = std::move(other.values_);
+    hash_.store(other.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Convenience for the paper's all-integer examples: Tuple::Ints({1, 2}).
   static Tuple Ints(std::initializer_list<int64_t> ints);
@@ -30,8 +70,15 @@ class Tuple {
   /// Projection onto `indices` (may repeat/reorder).
   Tuple Project(const std::vector<size_t>& indices) const;
 
-  /// Concatenation (for cross products).
+  /// Concatenation (for cross products). If this tuple's hash is already
+  /// cached, the result's hash is derived by folding `other`'s value hashes
+  /// onto it instead of re-walking this tuple's values.
   Tuple Concat(const Tuple& other) const;
+
+  /// Concat(other.Project(other_indices)) in a single allocation — the
+  /// probe-emit step of the natural-join kernel.
+  Tuple ConcatProjected(const Tuple& other,
+                        const std::vector<size_t>& other_indices) const;
 
   /// Nominal byte width on the wire.
   int ByteWidth() const;
@@ -41,17 +88,81 @@ class Tuple {
   /// Lexicographic order, for canonical printing.
   bool operator<(const Tuple& other) const { return values_ < other.values_; }
 
-  size_t Hash() const;
+  /// Memoized; O(size) only on the first call per tuple.
+  size_t Hash() const {
+    size_t h = hash_.load(std::memory_order_relaxed);
+    if (h == kUnset) {
+      h = ComputeHash();
+      hash_.store(h, std::memory_order_relaxed);
+    }
+    return h;
+  }
 
   /// Paper-style rendering: [1,2].
   std::string ToString() const;
 
  private:
+  // 0 doubles as "not yet computed": a tuple whose true hash is 0 simply
+  // recomputes on every call, which is correct (and vanishingly rare).
+  static constexpr size_t kUnset = 0;
+
+  size_t ComputeHash() const;
+
   std::vector<Value> values_;
+  mutable std::atomic<size_t> hash_{kUnset};
+};
+
+/// A non-owning view of selected columns of a tuple that hashes and compares
+/// exactly like the materialized projection `tuple.Project(*columns)`.
+/// Join kernels probe their hash tables with these views, so the per-probe
+/// key allocation of Tuple::Project disappears from the hot path.
+struct TupleKeyView {
+  TupleKeyView(const Tuple& t, const std::vector<size_t>& cols)
+      : tuple(&t), columns(&cols), hash(kTupleHashSeed) {
+    for (size_t c : cols) {
+      hash = TupleHashFold(hash, t.value(c).Hash());
+    }
+  }
+
+  const Tuple* tuple;
+  const std::vector<size_t>* columns;
+  size_t hash;
 };
 
 struct TupleHash {
+  using is_transparent = void;
   size_t operator()(const Tuple& t) const { return t.Hash(); }
+  size_t operator()(const TupleKeyView& v) const { return v.hash; }
+};
+
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(const TupleKeyView& v, const Tuple& t) const {
+    if (t.size() != v.columns->size()) {
+      return false;
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t.value(i) != v.tuple->value((*v.columns)[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator()(const Tuple& t, const TupleKeyView& v) const {
+    return (*this)(v, t);
+  }
+  bool operator()(const TupleKeyView& a, const TupleKeyView& b) const {
+    if (a.columns->size() != b.columns->size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.columns->size(); ++i) {
+      if (a.tuple->value((*a.columns)[i]) != b.tuple->value((*b.columns)[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const Tuple& t);

@@ -37,18 +37,6 @@ int Value::ByteWidth() const {
   return ValueTypeWidth(type());
 }
 
-size_t Value::Hash() const {
-  switch (type()) {
-    case ValueType::kInt:
-      return std::hash<int64_t>()(AsInt());
-    case ValueType::kDouble:
-      return std::hash<double>()(AsDouble());
-    case ValueType::kString:
-      return std::hash<std::string>()(AsString());
-  }
-  return 0;
-}
-
 std::string Value::ToString() const {
   std::ostringstream os;
   os << *this;

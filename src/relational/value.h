@@ -2,6 +2,7 @@
 #define WVM_RELATIONAL_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <variant>
@@ -58,7 +59,18 @@ class Value {
   bool operator==(const Value& other) const { return data_ == other.data_; }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
-  size_t Hash() const;
+  /// Inline: this is the innermost operation of tuple hashing, which every
+  /// join probe and relation insert performs.
+  size_t Hash() const {
+    switch (data_.index()) {
+      case 0:
+        return std::hash<int64_t>()(*std::get_if<int64_t>(&data_));
+      case 1:
+        return std::hash<double>()(*std::get_if<double>(&data_));
+      default:
+        return std::hash<std::string>()(*std::get_if<std::string>(&data_));
+    }
+  }
 
   std::string ToString() const;
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "query/evaluator.h"
 #include "relational/algebra.h"
 
@@ -86,6 +87,7 @@ Result<Relation> FinishFrontier(const ViewDefinition& view, const Frontier& f,
     }
   }
   Relation assembled(view.combined_schema());
+  assembled.Reserve(f.rows.size());
   for (const auto& [row, count] : f.rows) {
     std::vector<Value> values(width);
     for (size_t c = 0; c < width; ++c) {
@@ -93,16 +95,14 @@ Result<Relation> FinishFrontier(const ViewDefinition& view, const Frontier& f,
     }
     assembled.Insert(Tuple(std::move(values)), count);
   }
+  // The full condition (not just the residual) is applied here: bound
+  // operands are seeded into the frontier by plain concatenation, so a
+  // spanning equi-edge between two bound tuples is enforced only by this
+  // filter. Seeding with links instead would skip the index probes the
+  // paper's cost model charges for dead compensation terms (Section 6.3).
   Relation filtered = SelectBound(assembled, view.bound_cond());
   Relation projected = ProjectIndices(filtered, view.projection_indices());
-  if (coefficient == 1) {
-    return projected;
-  }
-  Relation out(projected.schema());
-  for (const auto& [t, c] : projected.entries()) {
-    out.Insert(t, c * coefficient);
-  }
-  return out;
+  return projected.Scaled(coefficient);
 }
 
 // Appends relation position p's columns to the frontier by joining `tuples`
@@ -125,12 +125,14 @@ void JoinInMemory(Frontier* f, const std::vector<Tuple>& tuples,
       rel_cols.push_back(l.relation_attr);
       frontier_cols.push_back(l.frontier_col);
     }
-    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> by_key;
+    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash, TupleEq>
+        by_key;
+    by_key.reserve(tuples.size());
     for (const Tuple& t : tuples) {
       by_key[t.Project(rel_cols)].push_back(&t);
     }
     for (const auto& [row, count] : f->rows) {
-      auto it = by_key.find(row.Project(frontier_cols));
+      auto it = by_key.find(TupleKeyView(row, frontier_cols));
       if (it == by_key.end()) {
         continue;
       }
@@ -171,18 +173,14 @@ Result<Relation> EvaluateIndexed(const Term& term, const StorageMap& storage,
     }
     WVM_ASSIGN_OR_RETURN(Relation projected,
                          JoinMaterializedOperands(view, operands));
-    if (term.coefficient() == 1) {
-      return projected;
-    }
-    Relation out(projected.schema());
-    for (const auto& [t, c] : projected.entries()) {
-      out.Insert(t, c * term.coefficient());
-    }
-    return out;
+    return projected.Scaled(term.coefficient());
   }
 
   // Seed the frontier with the cross product of the bound tuples (each a
-  // memory-resident singleton shipped with the query).
+  // memory-resident singleton shipped with the query). Deliberately no join
+  // links here: a doubly-bound compensation term whose tuples disagree on a
+  // join attribute still runs its probes — the paper's cost model charges
+  // them — and dies in FinishFrontier's filter instead.
   Frontier frontier;
   frontier.rows.emplace_back(Tuple(), 1);
   std::vector<bool> done(n, false);
@@ -263,12 +261,13 @@ Result<Relation> EvaluateIndexed(const Term& term, const StorageMap& storage,
       // and the paper charges a single probe (e.g. IO2 = 2 for Q2), while
       // generically distinct values charge one probe each (IO1 = 1 + J for
       // Q1). No caching across expansion steps or terms.
-      std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> probed;
+      std::unordered_map<Tuple, std::vector<Tuple>, TupleHash, TupleEq> probed;
+      const std::vector<size_t> probe_col = {best_probe->frontier_col};
       std::vector<std::pair<Tuple, int64_t>> out_rows;
       for (const auto& [row, count] : frontier.rows) {
-        Tuple key = row.Project({best_probe->frontier_col});
-        auto it = probed.find(key);
+        auto it = probed.find(TupleKeyView(row, probe_col));
         if (it == probed.end()) {
+          Tuple key = row.Project(probe_col);
           WVM_ASSIGN_OR_RETURN(
               std::vector<Tuple> matches,
               sr->IndexProbe(best_attr, key.value(0), io, cache));
@@ -378,14 +377,7 @@ Result<Relation> EvaluateNestedLoop(const Term& term,
     WVM_RETURN_IF_ERROR(loop(0));
   }
 
-  if (term.coefficient() == 1) {
-    return result;
-  }
-  Relation out(result.schema());
-  for (const auto& [t, c] : result.entries()) {
-    out.Insert(t, c * term.coefficient());
-  }
-  return out;
+  return result.Scaled(term.coefficient());
 }
 
 }  // namespace
@@ -435,7 +427,36 @@ Result<AnswerMessage> EvaluateQueryPhysical(const Query& query,
   ReadCache* cache_ptr = config.cache_within_query ? &cache : nullptr;
 
   if (!config.optimize_terms) {
-    for (const Term& t : query.terms()) {
+    const std::vector<Term>& terms = query.terms();
+    if (terms.size() >= 2 && !config.cache_within_query &&
+        ThreadPool::Shared().num_threads() >= 2) {
+      // Without a shared read-cache the terms are independent reads over
+      // the storage map, so they evaluate concurrently against per-term
+      // I/O meters. Merging the meters in term order reproduces the serial
+      // counters and plan log bit-for-bit (the paper charges every term's
+      // I/O independently — Section 6.3 assumes no caching across terms).
+      // With a shared cache, charging depends on evaluation order, so the
+      // serial path below is the only one that matches the model.
+      std::vector<std::optional<Result<Relation>>> parts(terms.size());
+      std::vector<IOStats> term_io(terms.size());
+      for (IOStats& s : term_io) {
+        s.record_plans = io->record_plans;
+      }
+      ParallelFor(terms.size(), [&](size_t i) {
+        parts[i] = EvaluateTermPhysical(terms[i], storage, config,
+                                        &term_io[i], nullptr);
+      });
+      for (size_t i = 0; i < terms.size(); ++i) {
+        if (!parts[i]->ok()) {
+          return parts[i]->status();
+        }
+        io->Merge(term_io[i]);
+        answer.term_delta_tags.push_back(terms[i].delta_update_id());
+        answer.per_term.push_back(*std::move(*parts[i]));
+      }
+      return answer;
+    }
+    for (const Term& t : terms) {
       WVM_ASSIGN_OR_RETURN(
           Relation part,
           EvaluateTermPhysical(t, storage, config, io, cache_ptr));
@@ -460,12 +481,8 @@ Result<AnswerMessage> EvaluateQueryPhysical(const Query& query,
           EvaluateTermPhysical(base, storage, config, io, cache_ptr));
       it = by_shape.emplace(key, std::move(value)).first;
     }
-    Relation part(it->second.schema());
-    for (const auto& [tuple, count] : it->second.entries()) {
-      part.Insert(tuple, count * t.coefficient());
-    }
     answer.term_delta_tags.push_back(t.delta_update_id());
-    answer.per_term.push_back(std::move(part));
+    answer.per_term.push_back(it->second.Scaled(t.coefficient()));
   }
   return answer;
 }

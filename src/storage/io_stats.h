@@ -41,6 +41,20 @@ struct IOStats {
     }
   }
 
+  /// Accumulates another meter's counters (and plan lines, when recording)
+  /// into this one. Used to fold per-term meters back into the query meter
+  /// in term order after parallel term evaluation.
+  void Merge(const IOStats& other) {
+    page_reads += other.page_reads;
+    index_probes += other.index_probes;
+    full_scans += other.full_scans;
+    terms_evaluated += other.terms_evaluated;
+    if (record_plans) {
+      plan_log.insert(plan_log.end(), other.plan_log.begin(),
+                      other.plan_log.end());
+    }
+  }
+
   IOStats operator-(const IOStats& other) const {
     IOStats d;
     d.page_reads = page_reads - other.page_reads;

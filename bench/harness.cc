@@ -8,6 +8,7 @@
 
 #include "common/strings.h"
 #include "consistency/checker.h"
+#include "consistency/staleness.h"
 #include "sim/policies.h"
 #include "sim/simulation.h"
 #include "workload/generator.h"
@@ -46,6 +47,7 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   options.physical.cache_within_query = config.cache_within_query;
   options.physical.optimize_terms = config.optimize_terms;
   options.batch_size = config.batch_size;
+  options.fault = config.fault;
   if (config.scenario == PhysicalScenario::kIndexedMemory) {
     options.indexes = workload.scenario1_indexes;
   }
@@ -89,6 +91,14 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   result.complete = report.complete;
   result.final_view_size =
       StrCat(sim->warehouse_view().TotalPositive(), " tuples");
+  const TransportStats transport = sim->transport_stats();
+  result.retransmitted_messages = sim->meter().retransmitted_messages();
+  result.retransmitted_bytes = sim->meter().retransmitted_bytes();
+  result.ack_messages = sim->meter().ack_messages();
+  result.frames_dropped = transport.link.frames_dropped;
+  StalenessReport staleness = MeasureStaleness(sim->state_log());
+  result.staleness_coverage = staleness.coverage;
+  result.staleness_mean_lag = staleness.mean_lag;
   return result;
 }
 

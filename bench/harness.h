@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/factory.h"
 #include "source/physical_evaluator.h"
+#include "transport/fault_config.h"
 
 namespace wvm::bench {
 
@@ -44,6 +45,9 @@ struct CaseConfig {
   /// Section 6.3 extensions (see PhysicalConfig).
   bool cache_within_query = false;
   bool optimize_terms = false;
+  /// Transport fault schedule (src/transport); off by default, so every
+  /// pre-existing bench cell is byte-identical to the fault-free system.
+  FaultConfig fault;
 };
 
 /// Measured outcome of one run.
@@ -57,6 +61,15 @@ struct CaseResult {
   bool strongly_consistent = false;
   bool complete = false;
   std::string final_view_size;
+  /// Transport-protocol overhead (all zero with faults off).
+  int64_t retransmitted_messages = 0;
+  int64_t retransmitted_bytes = 0;
+  int64_t ack_messages = 0;
+  int64_t frames_dropped = 0;
+  /// Staleness of the run (consistency/staleness.h): fraction of source
+  /// states ever shown, and mean event lag over the visible ones.
+  double staleness_coverage = 0;
+  double staleness_mean_lag = 0;
 };
 
 /// Builds the Example 6 workload, runs the configured case to quiescence,

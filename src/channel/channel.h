@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/status.h"
+
 namespace wvm {
 
 /// A reliable, in-order message channel between two sites. Delivery order
@@ -19,11 +21,16 @@ class Channel {
   bool HasMessage() const { return !queue_.empty(); }
   size_t size() const { return queue_.size(); }
 
-  /// Next message without consuming it; pre: HasMessage().
-  const T& Front() const { return queue_.front(); }
+  /// Next message without consuming it; pre: HasMessage() (fatal otherwise).
+  const T& Front() const {
+    WVM_REQUIRE(!queue_.empty(), "Front() on an empty channel");
+    return queue_.front();
+  }
 
-  /// Consumes and returns the next message; pre: HasMessage().
+  /// Consumes and returns the next message; pre: HasMessage() (fatal
+  /// otherwise).
   T Receive() {
+    WVM_REQUIRE(!queue_.empty(), "Receive() on an empty channel");
     T out = std::move(queue_.front());
     queue_.pop_front();
     return out;

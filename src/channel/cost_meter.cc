@@ -13,10 +13,17 @@ int64_t CostMeter::AnswerTupleCount(const AnswerMessage& a) {
 }
 
 std::string CostMeter::ToString() const {
-  return StrCat("M=", messages(), " (", query_messages_, " queries + ",
-                answer_messages_, " answers), B=", bytes_transferred_,
-                " bytes, ", answer_tuples_, " answer tuples, ", query_terms_,
-                " query terms, ", notifications_, " notifications");
+  std::string out =
+      StrCat("M=", messages(), " (", query_messages_, " queries + ",
+             answer_messages_, " answers), B=", bytes_transferred_,
+             " bytes, ", answer_tuples_, " answer tuples, ", query_terms_,
+             " query terms, ", notifications_, " notifications");
+  if (retransmitted_messages_ > 0 || ack_messages_ > 0) {
+    out += StrCat(", transport: ", retransmitted_messages_,
+                  " retransmits (", retransmitted_bytes_, " bytes), ",
+                  ack_messages_, " acks");
+  }
+  return out;
 }
 
 }  // namespace wvm

@@ -34,6 +34,17 @@ class CostMeter {
     answer_tuples_ += AnswerTupleCount(a);
   }
 
+  /// Transport-protocol overhead (src/transport): one frame retransmitted
+  /// after a timeout, carrying `bytes` of payload. Kept separate from M/B so
+  /// the paper's accounting stays comparable while the protocol's cost is
+  /// visible next to it.
+  void RecordRetransmit(int64_t bytes) {
+    ++retransmitted_messages_;
+    retransmitted_bytes_ += bytes;
+  }
+  /// One cumulative-ack frame sent by a reliable receiver.
+  void RecordAckMessage() { ++ack_messages_; }
+
   /// M of Section 6.1.
   int64_t messages() const { return query_messages_ + answer_messages_; }
   /// B of Section 6.2.
@@ -44,6 +55,9 @@ class CostMeter {
   int64_t answer_messages() const { return answer_messages_; }
   int64_t query_terms() const { return query_terms_; }
   int64_t answer_tuples() const { return answer_tuples_; }
+  int64_t retransmitted_messages() const { return retransmitted_messages_; }
+  int64_t retransmitted_bytes() const { return retransmitted_bytes_; }
+  int64_t ack_messages() const { return ack_messages_; }
 
   void Reset() { *this = CostMeter(bytes_per_tuple_); }
 
@@ -59,6 +73,9 @@ class CostMeter {
   int64_t query_terms_ = 0;
   int64_t answer_tuples_ = 0;
   int64_t bytes_transferred_ = 0;
+  int64_t retransmitted_messages_ = 0;
+  int64_t retransmitted_bytes_ = 0;
+  int64_t ack_messages_ = 0;
 };
 
 }  // namespace wvm

@@ -32,6 +32,10 @@ class Random {
   /// True with probability num/den.
   bool Bernoulli(uint64_t num, uint64_t den) { return Uniform(den) < num; }
 
+  /// Uniform double in [0, 1) with 53 bits of precision. Used by the fault
+  /// injector for per-message drop/duplicate/reorder decisions.
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
  private:
   uint64_t state_;
 };

@@ -49,5 +49,12 @@ void DieOnStatus(const Status& s, const char* expr, const char* file,
   std::abort();
 }
 
+void DieOnRequire(const char* cond, const char* msg, const char* file,
+                  int line) {
+  std::cerr << file << ":" << line << ": WVM_REQUIRE(" << cond
+            << ") failed: " << msg << std::endl;
+  std::abort();
+}
+
 }  // namespace internal
 }  // namespace wvm

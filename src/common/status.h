@@ -77,7 +77,19 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 namespace internal {
 [[noreturn]] void DieOnStatus(const Status& s, const char* expr,
                               const char* file, int line);
+[[noreturn]] void DieOnRequire(const char* cond, const char* msg,
+                               const char* file, int line);
 }  // namespace internal
+
+/// Aborts the process when `cond` is false — the Status-free sibling of
+/// WVM_CHECK_OK, for API-contract violations that have no recovery path
+/// (e.g. consuming from an empty channel).
+#define WVM_REQUIRE(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::wvm::internal::DieOnRequire(#cond, msg, __FILE__, __LINE__); \
+    }                                                               \
+  } while (false)
 
 /// Aborts the process if `expr` yields a non-OK Status. For use in tests,
 /// examples, and benchmark drivers where failure is a programming error.

@@ -24,7 +24,8 @@ std::optional<Term> ViewMaintainer::ViewSubstituted(const Update& u) const {
 }
 
 Warehouse::Warehouse(std::unique_ptr<ViewMaintainer> maintainer,
-                     Channel<QueryMessage>* to_source, CostMeter* meter)
+                     TransportChannel<QueryMessage>* to_source,
+                     CostMeter* meter)
     : maintainer_(std::move(maintainer)),
       to_source_(to_source),
       meter_(meter) {}

@@ -6,9 +6,9 @@
 #include <string>
 #include <vector>
 
-#include "channel/channel.h"
 #include "channel/cost_meter.h"
 #include "channel/message.h"
+#include "transport/transport_channel.h"
 #include "common/result.h"
 #include "query/catalog.h"
 #include "query/evaluator.h"
@@ -83,11 +83,13 @@ class ViewMaintainer {
 
 /// The warehouse site: receives the single in-order stream of source
 /// messages, dispatches to the maintenance algorithm, and sends queries
-/// through the query channel while metering them.
+/// through the query channel while metering them. The query channel is a
+/// TransportChannel: a plain FIFO channel by default, a faulty or
+/// protocol-protected link when the simulation injects faults.
 class Warehouse : public WarehouseContext {
  public:
   Warehouse(std::unique_ptr<ViewMaintainer> maintainer,
-            Channel<QueryMessage>* to_source, CostMeter* meter);
+            TransportChannel<QueryMessage>* to_source, CostMeter* meter);
 
   Status Initialize(const Catalog& initial_source_state) {
     return maintainer_->Initialize(initial_source_state);
@@ -115,7 +117,7 @@ class Warehouse : public WarehouseContext {
 
  private:
   std::unique_ptr<ViewMaintainer> maintainer_;
-  Channel<QueryMessage>* to_source_;
+  TransportChannel<QueryMessage>* to_source_;
   CostMeter* meter_;
   std::function<void()> view_observer_;
   uint64_t next_query_id_ = 1;

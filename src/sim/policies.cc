@@ -12,6 +12,11 @@ SimAction BestCasePolicy::Next(const Simulation& sim) {
   if (sim.CanSourceUpdate()) {
     return SimAction::kSourceUpdate;
   }
+  // Site events exhausted: let transport time pass so delayed frames and
+  // retransmission timers (fault injection only) can make progress.
+  if (sim.CanTransportTick()) {
+    return SimAction::kTransportTick;
+  }
   return SimAction::kNone;
 }
 
@@ -25,11 +30,14 @@ SimAction WorstCasePolicy::Next(const Simulation& sim) {
   if (sim.CanSourceAnswer()) {
     return SimAction::kSourceAnswer;
   }
+  if (sim.CanTransportTick()) {
+    return SimAction::kTransportTick;
+  }
   return SimAction::kNone;
 }
 
 SimAction RandomPolicy::Next(const Simulation& sim) {
-  SimAction enabled[3];
+  SimAction enabled[4];
   size_t n = 0;
   if (sim.CanSourceUpdate()) {
     enabled[n++] = SimAction::kSourceUpdate;
@@ -39,6 +47,9 @@ SimAction RandomPolicy::Next(const Simulation& sim) {
   }
   if (sim.CanWarehouseStep()) {
     enabled[n++] = SimAction::kWarehouseStep;
+  }
+  if (sim.CanTransportTick()) {
+    enabled[n++] = SimAction::kTransportTick;
   }
   if (n == 0) {
     return SimAction::kNone;

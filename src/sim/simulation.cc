@@ -15,6 +15,35 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
     return Status::InvalidArgument("batch_size must be >= 1");
   }
   auto sim = std::unique_ptr<Simulation>(new Simulation(view, options));
+  {
+    // Install the transport mode on both directions before any traffic.
+    // Disabled faults leave the channels as plain FIFO passthroughs, so
+    // every fault-free run is byte-identical to the pre-transport system.
+    Simulation* raw = sim.get();
+    TransportHooks<SourceMessage> down_hooks;
+    down_hooks.byte_size = [raw](const SourceMessage& m) -> int64_t {
+      // Only answer payloads carry the Section 6.2 bytes; notifications are
+      // excluded from B by the paper's accounting and stay free here too.
+      if (const auto* a = std::get_if<AnswerMessage>(&m)) {
+        return a->ByteSize(raw->options_.bytes_per_tuple);
+      }
+      return 0;
+    };
+    down_hooks.on_retransmit = [raw](int64_t bytes) {
+      raw->meter_.RecordRetransmit(bytes);
+    };
+    down_hooks.on_ack_frame = [raw] { raw->meter_.RecordAckMessage(); };
+    WVM_RETURN_IF_ERROR(
+        sim->to_warehouse_.Configure(options.fault, /*salt=*/1,
+                                     std::move(down_hooks)));
+    TransportHooks<QueryMessage> up_hooks;
+    up_hooks.on_retransmit = [raw](int64_t bytes) {
+      raw->meter_.RecordRetransmit(bytes);
+    };
+    up_hooks.on_ack_frame = [raw] { raw->meter_.RecordAckMessage(); };
+    WVM_RETURN_IF_ERROR(sim->to_source_.Configure(options.fault, /*salt=*/2,
+                                                  std::move(up_hooks)));
+  }
   WVM_ASSIGN_OR_RETURN(
       Source source, Source::Create(initial, options.physical,
                                     options.indexes));
@@ -70,8 +99,12 @@ bool Simulation::CanSourceAnswer() const { return to_source_.HasMessage(); }
 bool Simulation::CanWarehouseStep() const {
   return to_warehouse_.HasMessage();
 }
+bool Simulation::CanTransportTick() const {
+  return to_warehouse_.HasTimedWork() || to_source_.HasTimedWork();
+}
 bool Simulation::Quiescent() const {
-  return !CanSourceUpdate() && !CanSourceAnswer() && !CanWarehouseStep();
+  return !CanSourceUpdate() && !CanSourceAnswer() && !CanWarehouseStep() &&
+         !CanTransportTick();
 }
 
 Status Simulation::RecordSourceState() {
@@ -162,6 +195,20 @@ Status Simulation::StepWarehouse() {
   return Status::OK();
 }
 
+Status Simulation::StepTransportTick() {
+  if (!CanTransportTick()) {
+    return Status::FailedPrecondition("no transport work pending");
+  }
+  ++event_seq_;
+  to_warehouse_.Tick();
+  to_source_.Tick();
+  if (options_.record_trace) {
+    trace_.Add(TraceEvent::Kind::kTransportTick,
+               "transport time advances one tick");
+  }
+  return Status::OK();
+}
+
 Status Simulation::Step(SimAction action) {
   switch (action) {
     case SimAction::kSourceUpdate:
@@ -170,6 +217,8 @@ Status Simulation::Step(SimAction action) {
       return StepSourceAnswer();
     case SimAction::kWarehouseStep:
       return StepWarehouse();
+    case SimAction::kTransportTick:
+      return StepTransportTick();
     case SimAction::kNone:
       return Status::FailedPrecondition("no action enabled");
   }

@@ -6,7 +6,6 @@
 #include <string>
 #include <vector>
 
-#include "channel/channel.h"
 #include "channel/cost_meter.h"
 #include "channel/message.h"
 #include "common/result.h"
@@ -16,6 +15,8 @@
 #include "query/view_def.h"
 #include "sim/trace.h"
 #include "source/source.h"
+#include "transport/fault_config.h"
+#include "transport/transport_channel.h"
 
 namespace wvm {
 
@@ -27,6 +28,8 @@ enum class SimAction {
   kSourceUpdate,    // S_up: execute the next scripted update (or batch)
   kSourceAnswer,    // S_qu: evaluate the oldest pending query
   kWarehouseStep,   // W_up / W_ans: consume the next source message
+  kTransportTick,   // time passes on the wire: delayed frames advance,
+                    // retransmission timers fire (faults enabled only)
   kNone,            // nothing enabled: quiescent
 };
 
@@ -49,6 +52,10 @@ struct SimulationOptions {
   /// the single ViewDefinition; composite (union/difference) views install
   /// their own evaluator here.
   std::function<Result<Relation>(const Catalog&)> view_evaluator;
+  /// Transport fault schedule for both directions (source->warehouse and
+  /// warehouse->source). Off by default: the channels stay plain FIFO and
+  /// every run is byte-identical to the pre-transport system.
+  FaultConfig fault;
 };
 
 /// Owns one complete single-source / single-warehouse system: the source
@@ -75,11 +82,15 @@ class Simulation {
   bool CanSourceUpdate() const;
   bool CanSourceAnswer() const;
   bool CanWarehouseStep() const;
+  /// Frames in flight or retransmission timers that need transport time to
+  /// advance. Always false with faults disabled.
+  bool CanTransportTick() const;
   bool Quiescent() const;
 
   Status StepSourceUpdate();
   Status StepSourceAnswer();
   Status StepWarehouse();
+  Status StepTransportTick();
 
   /// Performs `action`; kNone is an error.
   Status Step(SimAction action);
@@ -100,6 +111,13 @@ class Simulation {
   WarehouseContext* warehouse_context() { return warehouse_.get(); }
   const ViewDefinitionPtr& view() const { return view_; }
   const CostMeter& meter() const { return meter_; }
+  /// Combined fault/protocol counters over both directions (all zero with
+  /// faults disabled).
+  TransportStats transport_stats() const {
+    TransportStats s = to_warehouse_.stats();
+    s += to_source_.stats();
+    return s;
+  }
   const IOStats& io_stats() const { return source_->io_stats(); }
   const StateLog& state_log() const { return state_log_; }
   const Trace& trace() const { return trace_; }
@@ -123,8 +141,8 @@ class Simulation {
   CostMeter meter_;
   std::unique_ptr<Source> source_;
   std::unique_ptr<Warehouse> warehouse_;
-  Channel<SourceMessage> to_warehouse_;
-  Channel<QueryMessage> to_source_;
+  TransportChannel<SourceMessage> to_warehouse_;
+  TransportChannel<QueryMessage> to_source_;
   StateLog state_log_;
   Trace trace_;
   std::vector<std::vector<Update>> script_;  // one entry per atomic batch

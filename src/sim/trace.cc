@@ -14,6 +14,8 @@ const char* TraceEvent::KindName(Kind kind) {
       return "W_up ";
     case Kind::kWarehouseAnswer:
       return "W_ans";
+    case Kind::kTransportTick:
+      return "T_tick";
   }
   return "?";
 }

@@ -15,6 +15,7 @@ struct TraceEvent {
     kSourceQueryEval,  // S_qu
     kWarehouseUpdate,  // W_up (or a batch W_up)
     kWarehouseAnswer,  // W_ans
+    kTransportTick,    // transport time advances (fault injection only)
   };
 
   Kind kind;

@@ -1,0 +1,63 @@
+#ifndef WVM_TRANSPORT_FAULT_CONFIG_H_
+#define WVM_TRANSPORT_FAULT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace wvm {
+
+/// Seeded fault schedule for one simulated link, plus the switch for the
+/// reliable-delivery protocol layered on top. The paper's Section 3
+/// standing assumption is that channels are reliable and FIFO; this config
+/// lets an experiment revoke that assumption message by message — and then
+/// restore it with an end-to-end protocol — while staying fully replayable:
+/// every per-message decision is drawn from a splitmix64 stream derived
+/// from `seed`, so the same config produces the same faults.
+///
+/// Default-constructed (enabled == false) the transport is a byte-exact
+/// passthrough to the plain FIFO channel: all paper experiments and tests
+/// are unaffected unless they opt in.
+struct FaultConfig {
+  /// Master switch. Off = plain FIFO channel, no RNG is ever consumed.
+  bool enabled = false;
+
+  /// Per-frame probability that the frame vanishes on the link.
+  double drop_rate = 0.0;
+  /// Per-frame probability that a second, independently-faulted copy of the
+  /// frame is injected (the copy samples its own drop/delay fate).
+  double duplicate_rate = 0.0;
+  /// Per-frame probability of an extra reorder penalty: the frame is held
+  /// back up to `reorder_window_ticks` ticks so later frames can overtake
+  /// it. Reordering is bounded: a frame can be overtaken by at most the
+  /// frames sent during its total delay.
+  double reorder_rate = 0.0;
+  /// Base delivery delay: every surviving frame is assigned a uniform delay
+  /// in [0, max_delay_ticks] transport ticks before it becomes deliverable.
+  int max_delay_ticks = 0;
+  /// Extra hold-back drawn in [1, reorder_window_ticks] when the reorder
+  /// coin comes up.
+  int reorder_window_ticks = 2;
+
+  /// Root of the deterministic fault schedule; each link (data and ack, per
+  /// direction) derives an independent stream from this.
+  uint64_t seed = 1;
+
+  /// Layer the reliable-delivery protocol (sequence numbers, cumulative
+  /// acks, timeout retransmission, receiver dedup/reorder buffering) on top
+  /// of the faulty link, restoring exactly-once FIFO delivery.
+  bool reliable = false;
+  /// Retransmission timeout, in transport ticks, for unacked frames.
+  int retransmit_timeout_ticks = 8;
+
+  /// Rates in range, positive timeout, and — when the protocol is on — a
+  /// drop rate that leaves retransmission a path to success.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_TRANSPORT_FAULT_CONFIG_H_

@@ -1,0 +1,144 @@
+#ifndef WVM_TRANSPORT_FAULTY_LINK_H_
+#define WVM_TRANSPORT_FAULTY_LINK_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "transport/fault_config.h"
+
+namespace wvm {
+
+/// Counters a FaultyLink keeps about what the fault schedule did.
+struct LinkStats {
+  int64_t frames_sent = 0;       // Send() calls (before duplication)
+  int64_t frames_dropped = 0;    // copies the schedule discarded
+  int64_t frames_duplicated = 0; // extra copies injected
+  int64_t frames_delayed = 0;    // copies assigned a nonzero delay
+  int64_t frames_delivered = 0;  // copies handed to Receive()
+
+  LinkStats& operator+=(const LinkStats& o) {
+    frames_sent += o.frames_sent;
+    frames_dropped += o.frames_dropped;
+    frames_duplicated += o.frames_duplicated;
+    frames_delayed += o.frames_delayed;
+    frames_delivered += o.frames_delivered;
+    return *this;
+  }
+};
+
+/// One unreliable, non-FIFO simulated link. Wraps the channel abstraction
+/// with a seeded fault schedule: each frame sent may be dropped, duplicated,
+/// delayed, or held back so later frames overtake it (bounded reordering).
+/// Time is discrete "transport ticks", advanced explicitly by the simulator
+/// (AdvanceTick), so every run is replayable from the FaultConfig seed: a
+/// frame assigned delay d becomes deliverable after d further ticks.
+///
+/// Delivery order is (due tick, injection order): a frame sent later with a
+/// smaller due tick overtakes an earlier, more-delayed one — reordering
+/// bounded by max_delay_ticks + reorder_window_ticks.
+template <typename T>
+class FaultyLink {
+ public:
+  /// `salt` decorrelates the per-link fault stream from other links sharing
+  /// the same FaultConfig seed.
+  FaultyLink(const FaultConfig& config, uint64_t salt)
+      : config_(config), rng_(MixSeed(config.seed, salt)) {}
+
+  void Send(T frame) {
+    ++stats_.frames_sent;
+    int copies = 1;
+    if (config_.duplicate_rate > 0 &&
+        rng_.NextDouble() < config_.duplicate_rate) {
+      ++copies;
+      ++stats_.frames_duplicated;
+    }
+    for (int i = 0; i < copies; ++i) {
+      if (config_.drop_rate > 0 && rng_.NextDouble() < config_.drop_rate) {
+        ++stats_.frames_dropped;
+        continue;
+      }
+      uint64_t delay = 0;
+      if (config_.max_delay_ticks > 0) {
+        delay = rng_.Uniform(static_cast<uint64_t>(config_.max_delay_ticks) + 1);
+      }
+      if (config_.reorder_rate > 0 &&
+          rng_.NextDouble() < config_.reorder_rate &&
+          config_.reorder_window_ticks > 0) {
+        delay += 1 + rng_.Uniform(
+                         static_cast<uint64_t>(config_.reorder_window_ticks));
+      }
+      if (delay > 0) {
+        ++stats_.frames_delayed;
+      }
+      Key key{now_ + delay, injection_seq_++};
+      if (i + 1 < copies) {
+        in_flight_.emplace(std::move(key), frame);  // keep frame for the copy
+      } else {
+        in_flight_.emplace(std::move(key), std::move(frame));
+      }
+    }
+  }
+
+  /// A frame whose due tick has arrived is waiting.
+  bool HasDeliverable() const {
+    return !in_flight_.empty() && in_flight_.begin()->first.due <= now_;
+  }
+
+  /// Frames exist that only a tick can surface (due tick in the future).
+  bool HasFutureWork() const {
+    return !in_flight_.empty() && in_flight_.rbegin()->first.due > now_;
+  }
+
+  bool HasUndelivered() const { return !in_flight_.empty(); }
+
+  const T& Front() const {
+    WVM_REQUIRE(HasDeliverable(), "Front() on a link with nothing due");
+    return in_flight_.begin()->second;
+  }
+
+  T Receive() {
+    WVM_REQUIRE(HasDeliverable(), "Receive() on a link with nothing due");
+    auto it = in_flight_.begin();
+    T out = std::move(it->second);
+    in_flight_.erase(it);
+    ++stats_.frames_delivered;
+    return out;
+  }
+
+  void AdvanceTick() { ++now_; }
+  uint64_t now() const { return now_; }
+
+  const LinkStats& stats() const { return stats_; }
+
+  static uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+    // splitmix64-style finalizer over (seed, salt) so links sharing a seed
+    // draw independent streams.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  struct Key {
+    uint64_t due;   // transport tick at which the frame becomes deliverable
+    uint64_t seq;   // injection order; ties deliver in send order
+    bool operator<(const Key& o) const {
+      return due != o.due ? due < o.due : seq < o.seq;
+    }
+  };
+
+  FaultConfig config_;
+  Random rng_;
+  std::map<Key, T> in_flight_;
+  uint64_t now_ = 0;
+  uint64_t injection_seq_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_TRANSPORT_FAULTY_LINK_H_

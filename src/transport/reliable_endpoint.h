@@ -1,0 +1,212 @@
+#ifndef WVM_TRANSPORT_RELIABLE_ENDPOINT_H_
+#define WVM_TRANSPORT_RELIABLE_ENDPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/status.h"
+#include "transport/fault_config.h"
+#include "transport/faulty_link.h"
+
+namespace wvm {
+
+/// Callbacks the protocol uses to surface its overhead to the cost
+/// accounting (Section 6's M/B metering lives above this layer and must see
+/// retransmissions and ack traffic separately from first-copy payload).
+template <typename T>
+struct TransportHooks {
+  /// One frame retransmitted, with its payload byte size (0 if no sizer).
+  std::function<void(int64_t)> on_retransmit;
+  /// One ack frame sent by the receiver side.
+  std::function<void()> on_ack_frame;
+  /// Payload byte size, used to charge retransmitted bytes.
+  std::function<int64_t(const T&)> byte_size;
+};
+
+/// Protocol counters, aggregated with the underlying link stats.
+struct ProtocolStats {
+  int64_t retransmitted_frames = 0;
+  int64_t retransmitted_bytes = 0;
+  int64_t acks_sent = 0;
+  int64_t duplicates_discarded = 0;  // receiver-side dedup hits
+  int64_t reorder_buffered = 0;      // frames that arrived out of order
+};
+
+/// Exactly-once, in-order delivery over a pair of faulty links (data
+/// forward, cumulative acks backward). This is the reliable-delivery
+/// protocol that restores the paper's Section 3 channel assumption on top
+/// of a lossy, duplicating, reordering transport:
+///
+///   * every user message gets a sequence number and is kept by the sender
+///     until cumulatively acked;
+///   * a retransmission timer (in transport ticks) re-sends all unacked
+///     frames on expiry — retransmissions pass through the fault schedule
+///     again, so they too can be dropped or delayed;
+///   * the receiver discards duplicates, buffers out-of-order frames, and
+///     releases user messages strictly in sequence order;
+///   * every data arrival triggers one cumulative ack (acks ride their own
+///     faulty link; a lost ack is repaired by the next one or by a
+///     retransmission provoking it).
+///
+/// The state machine is pumped eagerly after every Send and every Tick, so
+/// from the outside the endpoint looks exactly like a Channel<T> whose
+/// messages may additionally need Tick() events (time) to surface.
+template <typename T>
+class ReliableEndpoint {
+ public:
+  ReliableEndpoint(const FaultConfig& config, uint64_t salt,
+                   TransportHooks<T> hooks)
+      : config_(config),
+        data_(config, salt * 2 + 1),
+        ack_(config, salt * 2 + 2),
+        hooks_(std::move(hooks)) {}
+
+  void Send(T message) {
+    uint64_t seq = next_seq_++;
+    unacked_.emplace(seq, message);  // retained copy for retransmission
+    data_.Send(DataFrame{seq, std::move(message)});
+    ArmTimerIfNeeded();
+    Pump();
+  }
+
+  bool HasMessage() const { return !delivered_.empty(); }
+
+  const T& Front() const {
+    WVM_REQUIRE(!delivered_.empty(), "Front() on an empty reliable endpoint");
+    return delivered_.front();
+  }
+
+  T Receive() {
+    WVM_REQUIRE(!delivered_.empty(),
+                "Receive() on an empty reliable endpoint");
+    T out = std::move(delivered_.front());
+    delivered_.pop_front();
+    return out;
+  }
+
+  /// Progress requires advancing time: frames still traveling, or a
+  /// retransmission timer armed over unacked frames.
+  bool HasTimedWork() const {
+    return data_.HasFutureWork() || ack_.HasFutureWork() ||
+           (timer_armed_ && !unacked_.empty());
+  }
+
+  /// One transport tick: advance both links' clocks, fire the
+  /// retransmission timer if due, and pump arrivals.
+  void Tick() {
+    ++now_;
+    data_.AdvanceTick();
+    ack_.AdvanceTick();
+    if (timer_armed_ && now_ >= timer_due_ && !unacked_.empty()) {
+      for (const auto& [seq, payload] : unacked_) {
+        int64_t bytes = hooks_.byte_size ? hooks_.byte_size(payload) : 0;
+        ++stats_.retransmitted_frames;
+        stats_.retransmitted_bytes += bytes;
+        if (hooks_.on_retransmit) {
+          hooks_.on_retransmit(bytes);
+        }
+        data_.Send(DataFrame{seq, payload});
+      }
+      timer_due_ = now_ + static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+    }
+    Pump();
+  }
+
+  const ProtocolStats& stats() const { return stats_; }
+  LinkStats link_stats() const {
+    LinkStats s = data_.stats();
+    s += ack_.stats();
+    return s;
+  }
+
+ private:
+  struct DataFrame {
+    uint64_t seq;
+    T payload;
+  };
+  struct AckFrame {
+    uint64_t cumulative;  // all seq < cumulative have been delivered
+  };
+
+  void ArmTimerIfNeeded() {
+    if (!timer_armed_ && !unacked_.empty()) {
+      timer_armed_ = true;
+      timer_due_ = now_ + static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+    }
+  }
+
+  /// Drains everything currently deliverable on both links: receiver-side
+  /// dedup/reorder/release plus one cumulative ack per arrival burst, then
+  /// sender-side ack processing.
+  void Pump() {
+    bool received_data = false;
+    while (data_.HasDeliverable()) {
+      DataFrame f = data_.Receive();
+      received_data = true;
+      if (f.seq < next_expected_) {
+        ++stats_.duplicates_discarded;  // already released downstream
+      } else {
+        if (f.seq != next_expected_) {
+          ++stats_.reorder_buffered;
+        }
+        auto [it, inserted] =
+            reorder_buffer_.emplace(f.seq, std::move(f.payload));
+        if (!inserted) {
+          ++stats_.duplicates_discarded;  // duplicate of a buffered frame
+        }
+        (void)it;
+      }
+      for (auto it = reorder_buffer_.find(next_expected_);
+           it != reorder_buffer_.end();
+           it = reorder_buffer_.find(next_expected_)) {
+        delivered_.push_back(std::move(it->second));
+        reorder_buffer_.erase(it);
+        ++next_expected_;
+      }
+    }
+    if (received_data) {
+      // One cumulative ack per burst: acknowledges every in-order frame,
+      // and doubles as a NACK-by-omission for the gap a reorder left.
+      ++stats_.acks_sent;
+      if (hooks_.on_ack_frame) {
+        hooks_.on_ack_frame();
+      }
+      ack_.Send(AckFrame{next_expected_});
+    }
+    while (ack_.HasDeliverable()) {
+      AckFrame a = ack_.Receive();
+      unacked_.erase(unacked_.begin(), unacked_.lower_bound(a.cumulative));
+    }
+    if (unacked_.empty()) {
+      timer_armed_ = false;
+    } else {
+      ArmTimerIfNeeded();
+    }
+  }
+
+  FaultConfig config_;
+  FaultyLink<DataFrame> data_;
+  FaultyLink<AckFrame> ack_;
+  TransportHooks<T> hooks_;
+
+  // Sender state.
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, T> unacked_;
+  bool timer_armed_ = false;
+  uint64_t timer_due_ = 0;
+  uint64_t now_ = 0;
+
+  // Receiver state.
+  uint64_t next_expected_ = 0;
+  std::map<uint64_t, T> reorder_buffer_;
+  std::deque<T> delivered_;
+
+  ProtocolStats stats_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_TRANSPORT_RELIABLE_ENDPOINT_H_

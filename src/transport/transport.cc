@@ -1,0 +1,55 @@
+#include "transport/fault_config.h"
+#include "transport/transport_channel.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+Status FaultConfig::Validate() const {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!rate_ok(drop_rate) || !rate_ok(duplicate_rate) ||
+      !rate_ok(reorder_rate)) {
+    return Status::InvalidArgument("fault rates must lie in [0, 1]");
+  }
+  if (max_delay_ticks < 0 || reorder_window_ticks < 0) {
+    return Status::InvalidArgument("fault delays must be non-negative");
+  }
+  if (retransmit_timeout_ticks < 1) {
+    return Status::InvalidArgument(
+        "retransmit_timeout_ticks must be at least 1");
+  }
+  if (reliable && drop_rate >= 1.0) {
+    // With every frame dropped, retransmission can never succeed and the
+    // simulation would tick forever.
+    return Status::InvalidArgument(
+        "reliable delivery requires drop_rate < 1");
+  }
+  return Status::OK();
+}
+
+std::string FaultConfig::ToString() const {
+  if (!enabled) {
+    return "faults off";
+  }
+  return StrCat("faults{drop=", std::to_string(drop_rate),
+                ", dup=", std::to_string(duplicate_rate),
+                ", reorder=", std::to_string(reorder_rate),
+                ", delay<=", std::to_string(max_delay_ticks),
+                ", seed=", std::to_string(seed),
+                reliable ? ", reliable" : ", raw", "}");
+}
+
+namespace internal {
+
+std::string TransportStatsToString(const TransportStats& s) {
+  return StrCat(
+      "transport{sent=", std::to_string(s.link.frames_sent),
+      ", dropped=", std::to_string(s.link.frames_dropped),
+      ", duplicated=", std::to_string(s.link.frames_duplicated),
+      ", delivered=", std::to_string(s.link.frames_delivered),
+      ", retransmitted=", std::to_string(s.protocol.retransmitted_frames),
+      ", acks=", std::to_string(s.protocol.acks_sent), "}");
+}
+
+}  // namespace internal
+}  // namespace wvm

@@ -1,0 +1,166 @@
+#ifndef WVM_TRANSPORT_TRANSPORT_CHANNEL_H_
+#define WVM_TRANSPORT_TRANSPORT_CHANNEL_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "channel/channel.h"
+#include "transport/fault_config.h"
+#include "transport/faulty_link.h"
+#include "transport/reliable_endpoint.h"
+
+namespace wvm {
+
+/// Combined transport-layer counters for one direction of traffic.
+struct TransportStats {
+  LinkStats link;
+  ProtocolStats protocol;
+
+  TransportStats& operator+=(const TransportStats& o) {
+    link += o.link;
+    protocol.retransmitted_frames += o.protocol.retransmitted_frames;
+    protocol.retransmitted_bytes += o.protocol.retransmitted_bytes;
+    protocol.acks_sent += o.protocol.acks_sent;
+    protocol.duplicates_discarded += o.protocol.duplicates_discarded;
+    protocol.reorder_buffered += o.protocol.reorder_buffered;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+namespace internal {
+std::string TransportStatsToString(const TransportStats& s);
+}  // namespace internal
+
+inline std::string TransportStats::ToString() const {
+  return internal::TransportStatsToString(*this);
+}
+
+/// One direction of site-to-site messaging with a configurable transport
+/// beneath it. Three modes, chosen by FaultConfig at Configure time:
+///
+///   * passthrough (enabled == false, the default): a plain FIFO
+///     Channel<T>, byte-identical to the pre-transport system — the
+///     paper's Section 3 assumption holds by construction;
+///   * raw faulty (enabled, !reliable): messages ride a FaultyLink
+///     directly, so drops/duplicates/reorder reach the application — this
+///     is the mode the anomaly demonstrations run in;
+///   * reliable (enabled && reliable): a ReliableEndpoint restores
+///     exactly-once FIFO delivery end to end; faults only cost time
+///     (ticks) and overhead (retransmissions, acks).
+///
+/// The Channel<T> surface (Send/HasMessage/Front/Receive) is preserved
+/// exactly; the two transport-only members (HasTimedWork/Tick) let the
+/// discrete-event simulator treat "time passes on the wire" as a
+/// first-class action.
+template <typename T>
+class TransportChannel {
+ public:
+  TransportChannel() = default;
+
+  TransportChannel(const TransportChannel&) = delete;
+  TransportChannel& operator=(const TransportChannel&) = delete;
+
+  /// Installs the transport mode. Call once, before any traffic. `salt`
+  /// decorrelates this direction's fault stream from other directions
+  /// sharing the config seed.
+  Status Configure(const FaultConfig& config, uint64_t salt,
+                   TransportHooks<T> hooks = {}) {
+    WVM_RETURN_IF_ERROR(config.Validate());
+    WVM_REQUIRE(!plain_.HasMessage() && !raw_.has_value() &&
+                    !reliable_.has_value(),
+                "Configure() on a transport channel already in use");
+    if (!config.enabled) {
+      return Status::OK();  // stay a plain FIFO channel
+    }
+    if (config.reliable) {
+      reliable_.emplace(config, salt, std::move(hooks));
+    } else {
+      raw_.emplace(config, salt);
+    }
+    return Status::OK();
+  }
+
+  void Send(T message) {
+    if (reliable_.has_value()) {
+      reliable_->Send(std::move(message));
+    } else if (raw_.has_value()) {
+      raw_->Send(std::move(message));
+    } else {
+      plain_.Send(std::move(message));
+    }
+  }
+
+  bool HasMessage() const {
+    if (reliable_.has_value()) {
+      return reliable_->HasMessage();
+    }
+    if (raw_.has_value()) {
+      return raw_->HasDeliverable();
+    }
+    return plain_.HasMessage();
+  }
+
+  const T& Front() const {
+    if (reliable_.has_value()) {
+      return reliable_->Front();
+    }
+    if (raw_.has_value()) {
+      return raw_->Front();
+    }
+    return plain_.Front();
+  }
+
+  T Receive() {
+    if (reliable_.has_value()) {
+      return reliable_->Receive();
+    }
+    if (raw_.has_value()) {
+      return raw_->Receive();
+    }
+    return plain_.Receive();
+  }
+
+  /// Messages or timers exist that only a Tick can make progress on.
+  bool HasTimedWork() const {
+    if (reliable_.has_value()) {
+      return reliable_->HasTimedWork();
+    }
+    if (raw_.has_value()) {
+      return raw_->HasFutureWork();
+    }
+    return false;
+  }
+
+  /// Advances transport time by one tick (releases due frames, fires due
+  /// retransmission timers). No-op in passthrough mode.
+  void Tick() {
+    if (reliable_.has_value()) {
+      reliable_->Tick();
+    } else if (raw_.has_value()) {
+      raw_->AdvanceTick();
+    }
+  }
+
+  TransportStats stats() const {
+    TransportStats s;
+    if (reliable_.has_value()) {
+      s.link = reliable_->link_stats();
+      s.protocol = reliable_->stats();
+    } else if (raw_.has_value()) {
+      s.link = raw_->stats();
+    }
+    return s;
+  }
+
+ private:
+  Channel<T> plain_;
+  std::optional<FaultyLink<T>> raw_;
+  std::optional<ReliableEndpoint<T>> reliable_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_TRANSPORT_TRANSPORT_CHANNEL_H_

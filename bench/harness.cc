@@ -1,5 +1,6 @@
 #include "harness.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstdio>
@@ -17,9 +18,16 @@ namespace wvm::bench {
 
 Result<CaseResult> RunCase(const CaseConfig& config) {
   Random rng(config.seed);
-  WVM_ASSIGN_OR_RETURN(
-      Workload workload,
-      MakeExample6Workload({config.cardinality, config.join_factor}, &rng));
+  Workload workload;
+  if (config.keyed_workload) {
+    WVM_ASSIGN_OR_RETURN(
+        workload,
+        MakeKeyedWorkload({config.cardinality, config.join_factor}, &rng));
+  } else {
+    WVM_ASSIGN_OR_RETURN(
+        workload,
+        MakeExample6Workload({config.cardinality, config.join_factor}, &rng));
+  }
 
   std::vector<Update> updates;
   switch (config.stream) {
@@ -38,6 +46,12 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
                            MakeMixedUpdates(workload, config.k, 0.35, &rng));
       break;
     }
+    case Stream::kChurn: {
+      WVM_ASSIGN_OR_RETURN(
+          updates,
+          MakeChurnUpdates(workload, config.k, config.churn_pool, &rng));
+      break;
+    }
   }
 
   SimulationOptions options;
@@ -47,6 +61,8 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   options.physical.cache_within_query = config.cache_within_query;
   options.physical.optimize_terms = config.optimize_terms;
   options.batch_size = config.batch_size;
+  options.term_cache = config.term_cache;
+  options.parallel_source_answers = config.parallel_source_answers;
   options.fault = config.fault;
   if (config.scenario == PhysicalScenario::kIndexedMemory) {
     options.indexes = workload.scenario1_indexes;
@@ -61,6 +77,7 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
                          std::move(maintainer), options));
   sim->SetUpdateScript(std::move(updates));
 
+  const auto run_start = std::chrono::steady_clock::now();
   switch (config.order) {
     case Order::kBest: {
       BestCasePolicy policy;
@@ -78,6 +95,8 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
       break;
     }
   }
+  const std::chrono::duration<double> run_elapsed =
+      std::chrono::steady_clock::now() - run_start;
 
   ConsistencyReport report = CheckConsistency(sim->state_log());
   CaseResult result;
@@ -99,6 +118,12 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   StalenessReport staleness = MeasureStaleness(sim->state_log());
   result.staleness_coverage = staleness.coverage;
   result.staleness_mean_lag = staleness.mean_lag;
+  result.term_cache_hits = sim->io_stats().term_cache_hits;
+  result.term_cache_misses = sim->io_stats().term_cache_misses;
+  result.term_cache_patches = sim->io_stats().term_cache_patches;
+  result.term_cache_evictions = sim->io_stats().term_cache_evictions;
+  result.term_cache_patch_reads = sim->io_stats().term_cache_patch_reads;
+  result.wall_seconds = run_elapsed.count();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/factory.h"
 #include "source/physical_evaluator.h"
+#include "source/term_cache.h"
 #include "transport/fault_config.h"
 
 namespace wvm::bench {
@@ -24,6 +25,10 @@ enum class Stream {
   kCorrelatedInserts,
   /// Mixed inserts/deletes (35% deletes) for the correctness benchmarks.
   kMixed,
+  /// Insert/delete churn cycling a small pool of hot tuples per relation,
+  /// so compensating-term shapes repeat across updates (the regime the
+  /// source's cross-query term cache exploits).
+  kChurn,
 };
 
 /// Which interleaving drives the run.
@@ -45,6 +50,16 @@ struct CaseConfig {
   /// Section 6.3 extensions (see PhysicalConfig).
   bool cache_within_query = false;
   bool optimize_terms = false;
+  /// Source engine extensions (see SourceConfig): the incrementally
+  /// patched cross-query term cache, and parallel snapshot evaluation of
+  /// pending query batches. Both off by default.
+  TermCacheConfig term_cache;
+  bool parallel_source_answers = false;
+  /// Hot-tuple pool size per relation for Stream::kChurn.
+  int64_t churn_pool = 8;
+  /// Use the two-relation keyed workload (required by ECA-Key) instead of
+  /// Example 6.
+  bool keyed_workload = false;
   /// Transport fault schedule (src/transport); off by default, so every
   /// pre-existing bench cell is byte-identical to the fault-free system.
   FaultConfig fault;
@@ -70,6 +85,16 @@ struct CaseResult {
   /// states ever shown, and mean event lag over the visible ones.
   double staleness_coverage = 0;
   double staleness_mean_lag = 0;
+  /// Source term-cache meters (all zero with the cache off). Patch reads
+  /// are source-side maintenance I/O, excluded from `io` above.
+  int64_t term_cache_hits = 0;
+  int64_t term_cache_misses = 0;
+  int64_t term_cache_patches = 0;
+  int64_t term_cache_evictions = 0;
+  int64_t term_cache_patch_reads = 0;
+  /// Wall-clock seconds of the simulation run itself (excludes workload
+  /// generation and setup).
+  double wall_seconds = 0;
 };
 
 /// Builds the Example 6 workload, runs the configured case to quiescence,

@@ -16,6 +16,20 @@ Term Term::Negated() const {
   return out;
 }
 
+Term Term::Normalized(int* sign_product) const {
+  Term out = *this;
+  int product = coefficient_;
+  out.coefficient_ = 1;
+  for (TermOperand& op : out.operands_) {
+    if (op.is_bound) {
+      product *= op.bound.sign;
+      op.bound.sign = +1;
+    }
+  }
+  *sign_product = product;
+  return out;
+}
+
 std::optional<Term> Term::Substitute(const Update& u) const {
   Result<size_t> index = view_->RelationIndex(u.relation);
   if (!index.ok()) {

@@ -45,6 +45,14 @@ class Term {
   /// Returns a copy with the coefficient negated.
   Term Negated() const;
 
+  /// Returns a copy with coefficient +1 and every bound sign forced to +1;
+  /// `*sign_product` receives coefficient * product of the original bound
+  /// signs. Because a term is linear in each operand, the original answer
+  /// is the normalized answer scaled by *sign_product — which is what lets
+  /// structurally identical terms (same view, same |bound tuples|) share
+  /// one evaluation regardless of signs and coefficients.
+  Term Normalized(int* sign_product) const;
+
   /// The substitution T<U> of Section 4.2: if the position of U's relation
   /// is already bound, the result is the empty query (nullopt); otherwise
   /// that position is bound to tuple(U) signed by the update kind. The

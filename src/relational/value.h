@@ -78,6 +78,12 @@ class Value {
   std::variant<int64_t, double, std::string> data_;
 };
 
+/// Hash functor for unordered containers keyed by Value (e.g. the stored
+/// relations' per-column distinct-value statistics).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
 std::ostream& operator<<(std::ostream& os, const Value& v);
 
 }  // namespace wvm

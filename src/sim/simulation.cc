@@ -44,8 +44,12 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
     WVM_RETURN_IF_ERROR(sim->to_source_.Configure(options.fault, /*salt=*/2,
                                                   std::move(up_hooks)));
   }
+  SourceConfig source_config;
+  source_config.physical = options.physical;
+  source_config.term_cache = options.term_cache;
+  source_config.parallel_batch = options.parallel_source_answers;
   WVM_ASSIGN_OR_RETURN(
-      Source source, Source::Create(initial, options.physical,
+      Source source, Source::Create(initial, source_config,
                                     options.indexes));
   sim->source_ = std::make_unique<Source>(std::move(source));
   sim->warehouse_ = std::make_unique<Warehouse>(
@@ -156,6 +160,29 @@ Status Simulation::StepSourceAnswer() {
     return Status::FailedPrecondition("no pending queries at the source");
   }
   ++event_seq_;
+  if (options_.parallel_source_answers) {
+    // Drain every pending query and evaluate them as one batch (one atomic
+    // source event): the engine snapshots the storage and fans the queries
+    // onto the thread pool. Answers ship in arrival order, so the
+    // warehouse-visible message sequence is the same as if the queries had
+    // been answered back-to-back serially.
+    std::vector<Query> batch;
+    while (to_source_.HasMessage()) {
+      batch.push_back(std::move(to_source_.Receive().query));
+    }
+    WVM_ASSIGN_OR_RETURN(std::vector<AnswerMessage> answers,
+                         source_->EvaluateQueryBatch(batch));
+    for (size_t i = 0; i < answers.size(); ++i) {
+      if (options_.record_trace) {
+        trace_.Add(TraceEvent::Kind::kSourceQueryEval,
+                   StrCat("source evaluates ", batch[i].ToString(),
+                          " -> ", answers[i].Sum().ToString()));
+      }
+      meter_.RecordAnswer(answers[i]);
+      to_warehouse_.Send(std::move(answers[i]));
+    }
+    return Status::OK();
+  }
   QueryMessage qm = to_source_.Receive();
   WVM_ASSIGN_OR_RETURN(AnswerMessage answer,
                        source_->EvaluateQuery(qm.query));

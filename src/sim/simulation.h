@@ -35,6 +35,14 @@ enum class SimAction {
 
 struct SimulationOptions {
   PhysicalConfig physical;
+  /// Source-side cross-query term cache (off by default; when enabled the
+  /// source patches cached term answers incrementally under updates).
+  TermCacheConfig term_cache;
+  /// When set, a kSourceAnswer event drains ALL pending queries and
+  /// evaluates them as one parallel batch against a storage snapshot
+  /// (answers still ship in arrival order). Off by default: one query per
+  /// event, exactly the paper's atomic S_qu.
+  bool parallel_source_answers = false;
   /// Indexes to declare at the source (Scenario 1 only).
   std::vector<IndexSpec> indexes;
   /// Fixed bytes charged per answer tuple (S of Table 1); negative derives

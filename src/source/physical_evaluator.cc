@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "query/evaluator.h"
 #include "relational/algebra.h"
+#include "source/term_cache.h"
 
 namespace wvm {
 
@@ -396,35 +397,45 @@ Result<Relation> EvaluateTermPhysical(const Term& term,
   return Status::Internal("unknown physical scenario");
 }
 
-namespace {
-
-// Structural key of a term, ignoring coefficient and delta tag: two terms
-// with the same key evaluate to the same relation up to sign.
-std::string TermShapeKey(const Term& term) {
-  std::string key = StrCat(term.view().get(), "|");
-  for (const TermOperand& op : term.operands()) {
-    if (op.is_bound) {
-      key += StrCat(op.bound.sign < 0 ? "-" : "+",
-                    op.bound.tuple.ToString(), "|");
-    } else {
-      key += "*|";
-    }
-  }
-  return key;
-}
-
-}  // namespace
-
 Result<AnswerMessage> EvaluateQueryPhysical(const Query& query,
                                             const StorageMap& storage,
                                             const PhysicalConfig& config,
-                                            IOStats* io) {
+                                            IOStats* io,
+                                            TermCache* term_cache) {
   AnswerMessage answer;
   answer.query_id = query.id();
   answer.update_id = query.update_id();
 
   ReadCache cache;
   ReadCache* cache_ptr = config.cache_within_query ? &cache : nullptr;
+
+  if (term_cache != nullptr && term_cache->enabled()) {
+    // Cross-query term cache. Serial per query (batch-level parallelism
+    // lives in Source::EvaluateQueryBatch); subsumes optimize_terms, since
+    // a repeated shape within this query hits the entry the first
+    // occurrence just filled. Hits charge no page reads; misses charge the
+    // normalized evaluation exactly as the serial path would.
+    for (const Term& t : query.terms()) {
+      int sign_product = 0;
+      Term normalized = t.Normalized(&sign_product);
+      const std::string signature = TermSignature(normalized);
+      std::optional<Relation> core = term_cache->Lookup(signature, io);
+      if (!core.has_value()) {
+        IOStats fill;
+        fill.record_plans = io->record_plans;
+        WVM_ASSIGN_OR_RETURN(
+            Relation value, EvaluateTermPhysical(normalized, storage, config,
+                                                 &fill, cache_ptr));
+        io->Merge(fill);
+        term_cache->Fill(signature, std::move(normalized), value,
+                         fill.page_reads, io);
+        core = std::move(value);
+      }
+      answer.term_delta_tags.push_back(t.delta_update_id());
+      answer.per_term.push_back(core->Scaled(sign_product));
+    }
+    return answer;
+  }
 
   if (!config.optimize_terms) {
     const std::vector<Term>& terms = query.terms();
@@ -467,22 +478,25 @@ Result<AnswerMessage> EvaluateQueryPhysical(const Query& query,
   }
 
   // Multiple-term optimization (Section 6.3): evaluate each structural
-  // shape once with coefficient +1, then scale per original term. The
-  // answer keeps one entry per term, so per-term delta tags stay intact.
+  // shape once in normalized form (coefficient +1, bound signs +1), then
+  // rescale per original term. Keying on the sign-folded TermSignature lets
+  // V<+t> and V<-t> share one evaluation — their answers differ only by the
+  // sign product Term::Normalized reports. The answer keeps one entry per
+  // term, so per-term delta tags stay intact.
   std::map<std::string, Relation> by_shape;
   for (const Term& t : query.terms()) {
-    const std::string key = TermShapeKey(t);
+    int sign_product = 0;
+    Term base = t.Normalized(&sign_product);
+    const std::string key = TermSignature(base);
     auto it = by_shape.find(key);
     if (it == by_shape.end()) {
-      Term base = t;
-      base.set_coefficient(1);
       WVM_ASSIGN_OR_RETURN(
           Relation value,
           EvaluateTermPhysical(base, storage, config, io, cache_ptr));
       it = by_shape.emplace(key, std::move(value)).first;
     }
     answer.term_delta_tags.push_back(t.delta_update_id());
-    answer.per_term.push_back(it->second.Scaled(t.coefficient()));
+    answer.per_term.push_back(it->second.Scaled(sign_product));
   }
   return answer;
 }

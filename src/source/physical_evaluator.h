@@ -45,6 +45,8 @@ struct PhysicalConfig {
 
 using StorageMap = std::map<std::string, StoredRelation>;
 
+class TermCache;
+
 /// Evaluates one term against the blocked storage, charging `io` per the
 /// scenario's rules. The returned relation includes the term's coefficient
 /// and bound-tuple signs. Every term is evaluated independently with no
@@ -56,10 +58,20 @@ Result<Relation> EvaluateTermPhysical(const Term& term,
 
 /// Evaluates all terms of `query` and packages the per-term answers (with
 /// their delta tags) into one AnswerMessage.
+///
+/// When `term_cache` is supplied (and enabled), every term is looked up by
+/// its structural signature first: hits charge no page reads, misses are
+/// evaluated normalized (coefficient +1, bound signs +1), charged to `io`,
+/// and filled into the cache — which also subsumes the within-query
+/// multiple-term optimization, since later identical terms of the same
+/// query hit the just-filled entry. The cache path is serial per query;
+/// concurrency comes from evaluating independent queries of a batch in
+/// parallel (Source::EvaluateQueryBatch).
 Result<AnswerMessage> EvaluateQueryPhysical(const Query& query,
                                             const StorageMap& storage,
                                             const PhysicalConfig& config,
-                                            IOStats* io);
+                                            IOStats* io,
+                                            TermCache* term_cache = nullptr);
 
 }  // namespace wvm
 

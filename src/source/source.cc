@@ -1,23 +1,30 @@
 #include "source/source.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace wvm {
 
 Result<Source> Source::Create(const Catalog& initial,
-                              const PhysicalConfig& config,
+                              const SourceConfig& config,
                               const std::vector<IndexSpec>& indexes) {
-  if (config.scenario == PhysicalScenario::kNestedLoopLimited &&
+  if (config.physical.scenario == PhysicalScenario::kNestedLoopLimited &&
       !indexes.empty()) {
     return Status::InvalidArgument(
         "Scenario 2 assumes there are no indexes (Section 6.3)");
   }
   Source source(initial.Clone(), config);
+  if (config.term_cache.enabled) {
+    source.term_cache_ = std::make_unique<TermCache>(config.term_cache);
+  }
 
   for (const std::string& name : initial.Names()) {
     WVM_ASSIGN_OR_RETURN(Schema schema, initial.GetSchema(name));
     StoredRelation stored(BaseRelationDef{name, std::move(schema)},
-                          config.tuples_per_block);
+                          config.physical.tuples_per_block);
     source.storage_.emplace(name, std::move(stored));
   }
   // Declare indexes before loading so clustered order is maintained.
@@ -29,21 +36,33 @@ Result<Source> Source::Create(const Catalog& initial,
     }
     WVM_RETURN_IF_ERROR(it->second.AddIndex(spec.attribute, spec.clustered));
   }
-  // Load initial data (bag semantics: one physical row per multiplicity).
+  // Load initial data (bag semantics: one physical row per multiplicity)
+  // in bulk: appending everything and sorting once is O(n log n) where
+  // per-tuple inserts into clustered order would re-shift the file per row.
   for (const std::string& name : initial.Names()) {
     WVM_ASSIGN_OR_RETURN(const Relation* data, initial.Get(name));
     if (data->HasNegative()) {
       return Status::InvalidArgument(
           StrCat("initial relation '", name, "' has negative multiplicity"));
     }
-    StoredRelation& stored = source.storage_.at(name);
+    std::vector<Tuple> rows;
+    rows.reserve(static_cast<size_t>(data->TotalPositive()));
     for (const auto& [t, c] : data->SortedEntries()) {
       for (int64_t i = 0; i < c; ++i) {
-        WVM_RETURN_IF_ERROR(stored.Insert(t));
+        rows.push_back(t);
       }
     }
+    WVM_RETURN_IF_ERROR(source.storage_.at(name).BulkLoad(std::move(rows)));
   }
   return source;
+}
+
+Result<Source> Source::Create(const Catalog& initial,
+                              const PhysicalConfig& config,
+                              const std::vector<IndexSpec>& indexes) {
+  SourceConfig full;
+  full.physical = config;
+  return Create(initial, full, indexes);
 }
 
 Status Source::ExecuteUpdate(const Update& u) {
@@ -54,13 +73,59 @@ Status Source::ExecuteUpdate(const Update& u) {
         StrCat("update to unknown relation '", u.relation, "'"));
   }
   if (u.kind == UpdateKind::kInsert) {
-    return it->second.Insert(u.tuple);
+    WVM_RETURN_IF_ERROR(it->second.Insert(u.tuple));
+  } else {
+    WVM_RETURN_IF_ERROR(it->second.Delete(u.tuple));
   }
-  return it->second.Delete(u.tuple);
+  if (term_cache_ != nullptr) {
+    // Maintain cached term answers incrementally: each affected entry is
+    // patched with the delta term T<U> (evaluated against the post-update
+    // storage) or evicted when patching would cost more than recomputing.
+    WVM_RETURN_IF_ERROR(
+        term_cache_->ApplyUpdate(u, storage_, config_.physical, &io_stats_));
+  }
+  return Status::OK();
 }
 
 Result<AnswerMessage> Source::EvaluateQuery(const Query& q) {
-  return EvaluateQueryPhysical(q, storage_, config_, &io_stats_);
+  return EvaluateQueryPhysical(q, storage_, config_.physical, &io_stats_,
+                               term_cache_.get());
+}
+
+Result<std::vector<AnswerMessage>> Source::EvaluateQueryBatch(
+    const std::vector<Query>& queries) {
+  std::vector<AnswerMessage> answers;
+  answers.reserve(queries.size());
+  if (!config_.parallel_batch || queries.size() < 2 ||
+      ThreadPool::Shared().num_threads() < 2) {
+    for (const Query& q : queries) {
+      WVM_ASSIGN_OR_RETURN(AnswerMessage a, EvaluateQuery(q));
+      answers.push_back(std::move(a));
+    }
+    return answers;
+  }
+
+  // Snapshot once: copy-on-write rows make this O(relations), and the
+  // snapshot stays consistent even if updates land on `storage_` while
+  // worker threads are still scanning it.
+  const StorageMap snapshot = storage_;
+  std::vector<std::optional<Result<AnswerMessage>>> parts(queries.size());
+  std::vector<IOStats> per_query(queries.size());
+  for (IOStats& s : per_query) {
+    s.record_plans = io_stats_.record_plans;
+  }
+  ParallelFor(queries.size(), [&](size_t i) {
+    parts[i] = EvaluateQueryPhysical(queries[i], snapshot, config_.physical,
+                                     &per_query[i], term_cache_.get());
+  });
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!parts[i]->ok()) {
+      return parts[i]->status();
+    }
+    io_stats_.Merge(per_query[i]);
+    answers.push_back(*std::move(*parts[i]));
+  }
+  return answers;
 }
 
 }  // namespace wvm

@@ -1,6 +1,7 @@
 #ifndef WVM_SOURCE_SOURCE_H_
 #define WVM_SOURCE_SOURCE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "query/catalog.h"
 #include "query/query.h"
 #include "source/physical_evaluator.h"
+#include "source/term_cache.h"
 #include "storage/io_stats.h"
 
 namespace wvm {
@@ -18,6 +20,19 @@ struct IndexSpec {
   std::string relation;
   std::string attribute;
   bool clustered = false;
+};
+
+/// Full source engine configuration. The defaults reproduce the paper's
+/// source exactly: no term cache, serial query evaluation.
+struct SourceConfig {
+  PhysicalConfig physical;
+  /// Cross-query term cache, incrementally patched under updates.
+  TermCacheConfig term_cache;
+  /// When set, EvaluateQueryBatch fans independent queries onto the shared
+  /// thread pool against a copy-on-write snapshot of the storage. Answers
+  /// and merged meters match the serial order (with the term cache also on,
+  /// answers still match but hit/miss attribution may vary by schedule).
+  bool parallel_batch = false;
 };
 
 /// The information source of Figure 1.1: a legacy system that owns the base
@@ -35,30 +50,58 @@ class Source {
   /// is loaded so clustered order holds. In Scenario 2 (kNestedLoopLimited)
   /// `indexes` must be empty.
   static Result<Source> Create(const Catalog& initial,
+                               const SourceConfig& config,
+                               const std::vector<IndexSpec>& indexes);
+
+  /// Physical-config-only convenience overload (term cache off, serial).
+  static Result<Source> Create(const Catalog& initial,
                                const PhysicalConfig& config,
                                const std::vector<IndexSpec>& indexes);
 
-  /// S_up body: executes `u` against both logical and physical state.
+  /// S_up body: executes `u` against both logical and physical state, then
+  /// folds it into the term cache (patching or evicting affected entries)
+  /// when the cache is enabled.
   Status ExecuteUpdate(const Update& u);
 
   /// S_qu body: evaluates `q` on the current state through the physical
   /// evaluator, charging io_stats().
   Result<AnswerMessage> EvaluateQuery(const Query& q);
 
+  /// Evaluates all pending `queries` as one batch. With parallel_batch set
+  /// (and >= 2 queries and workers available) the queries run concurrently
+  /// on ThreadPool::Shared() against a snapshot of the storage taken at
+  /// entry — copy-on-write row storage makes the snapshot O(relations), and
+  /// updates executing afterwards clone rather than disturb it. Answers are
+  /// returned in input order and per-query meters merge into io_stats() in
+  /// that same order, so with the term cache off the counters reproduce the
+  /// serial path bit-for-bit. Serial fallback otherwise.
+  Result<std::vector<AnswerMessage>> EvaluateQueryBatch(
+      const std::vector<Query>& queries);
+
+  /// A copy-on-write snapshot of the physical storage: cheap to take, safe
+  /// to read concurrently with subsequent updates to this source.
+  StorageMap SnapshotStorage() const { return storage_; }
+
   const Catalog& catalog() const { return catalog_; }
   const StorageMap& storage() const { return storage_; }
-  const PhysicalConfig& config() const { return config_; }
+  const PhysicalConfig& config() const { return config_.physical; }
+  const SourceConfig& source_config() const { return config_; }
+  /// The term cache, or nullptr when disabled.
+  TermCache* term_cache() { return term_cache_.get(); }
   const IOStats& io_stats() const { return io_stats_; }
   void ResetIOStats() { io_stats_.Reset(); }
 
  private:
-  Source(Catalog catalog, PhysicalConfig config)
-      : catalog_(std::move(catalog)), config_(config) {}
+  Source(Catalog catalog, SourceConfig config)
+      : catalog_(std::move(catalog)), config_(std::move(config)) {}
 
   Catalog catalog_;
   StorageMap storage_;
-  PhysicalConfig config_;
+  SourceConfig config_;
   IOStats io_stats_;
+  /// Allocated only when config_.term_cache.enabled (TermCache owns a
+  /// mutex, so it lives behind a pointer to keep Source movable).
+  std::unique_ptr<TermCache> term_cache_;
 };
 
 }  // namespace wvm

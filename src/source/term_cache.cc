@@ -1,0 +1,137 @@
+#include "source/term_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+std::string TermSignature(const Term& term) {
+  std::string key = StrCat(term.view().get(), "|");
+  for (const TermOperand& op : term.operands()) {
+    if (op.is_bound) {
+      key += StrCat(op.bound.tuple.ToString(), "|");
+    } else {
+      key += "*|";
+    }
+  }
+  return key;
+}
+
+std::optional<Relation> TermCache::Lookup(const std::string& signature,
+                                          IOStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++io->term_cache_misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++io->term_cache_hits;
+  return it->second.core;
+}
+
+void TermCache::Fill(const std::string& signature, Term normalized,
+                     Relation core, int64_t fill_reads, IOStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(signature) > 0) {
+    return;  // racing fill of the same shape: both computed the same answer
+  }
+  while (config_.capacity > 0 && entries_.size() >= config_.capacity) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++io->term_cache_evictions;
+  }
+  lru_.push_front(signature);
+  entries_.emplace(signature, Entry{std::move(normalized), std::move(core),
+                                    fill_reads, lru_.begin()});
+}
+
+double TermCache::EstimateEvalReads(const Term& term,
+                                    const StorageMap& storage) {
+  double cost = 0;
+  const ViewDefinition& view = *term.view();
+  for (size_t i = 0; i < view.num_relations(); ++i) {
+    if (term.operands()[i].is_bound) {
+      continue;
+    }
+    auto it = storage.find(view.relations()[i].name);
+    if (it == storage.end()) {
+      continue;
+    }
+    const StoredRelation& sr = it->second;
+    double best = static_cast<double>(sr.NumBlocks());
+    for (const IndexDef& idx : sr.indexes()) {
+      // An indexed expansion reads about one block run (clustered) or one
+      // tuple (non-clustered) per expected match of the probed value.
+      const double matches = sr.EstimatedMatchesPerKey(idx.attribute);
+      const double probe =
+          idx.clustered
+              ? std::max(1.0, std::ceil(matches / sr.tuples_per_block()))
+              : std::max(1.0, matches);
+      best = std::min(best, probe);
+    }
+    cost += best;
+  }
+  return cost;
+}
+
+Status TermCache::ApplyUpdate(const Update& u, const StorageMap& storage,
+                              const PhysicalConfig& config, IOStats* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> doomed;
+  for (auto& [signature, entry] : entries_) {
+    Result<size_t> pos = entry.normalized.view()->RelationIndex(u.relation);
+    if (!pos.ok()) {
+      continue;  // the view never reads u's relation: entry unaffected
+    }
+    if (entry.normalized.operands()[*pos].is_bound) {
+      // The term substituted a concrete tuple for u's relation, so its
+      // answer does not depend on that relation's stored contents.
+      continue;
+    }
+    std::optional<Term> delta = entry.normalized.Substitute(u);
+    if (!delta.has_value()) {
+      continue;  // unreachable given the checks above; keep entry intact
+    }
+    const double patch_estimate =
+        EstimateEvalReads(*delta, storage) * config_.patch_cost_factor;
+    if (patch_estimate > static_cast<double>(entry.fill_reads)) {
+      doomed.push_back(signature);
+      continue;
+    }
+    // T<U> carries u's sign through the substituted operand, so adding its
+    // answer patches inserts and deletes symmetrically. The other operand
+    // positions read the post-update storage, which equals the pre-update
+    // storage for every relation but u's — and u's position is now bound.
+    IOStats patch_io;
+    WVM_ASSIGN_OR_RETURN(
+        Relation d, EvaluateTermPhysical(*delta, storage, config, &patch_io,
+                                         /*cache=*/nullptr));
+    entry.core.Add(d);
+    ++io->term_cache_patches;
+    io->term_cache_patch_reads += patch_io.page_reads;
+  }
+  for (const std::string& signature : doomed) {
+    auto it = entries_.find(signature);
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    ++io->term_cache_evictions;
+  }
+  return Status::OK();
+}
+
+size_t TermCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TermCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace wvm

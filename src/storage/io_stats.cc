@@ -5,8 +5,21 @@
 namespace wvm {
 
 std::string IOStats::ToString() const {
-  return StrCat("IO=", page_reads, " page reads (", index_probes, " probes, ",
-                full_scans, " scans, ", terms_evaluated, " terms)");
+  std::string s =
+      StrCat("IO=", page_reads, " page reads (", index_probes, " probes, ",
+             full_scans, " scans, ", terms_evaluated, " terms)");
+  // The term-cache line appears only when the opt-in engine actually ran,
+  // so default-configuration renderings stay byte-identical to the paper
+  // model's.
+  if (term_cache_hits != 0 || term_cache_misses != 0 ||
+      term_cache_patches != 0 || term_cache_evictions != 0 ||
+      term_cache_patch_reads != 0) {
+    s += StrCat(" [term cache: ", term_cache_hits, " hits, ",
+                term_cache_misses, " misses, ", term_cache_patches,
+                " patches (", term_cache_patch_reads, " reads), ",
+                term_cache_evictions, " evictions]");
+  }
+  return s;
 }
 
 }  // namespace wvm

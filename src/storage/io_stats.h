@@ -23,6 +23,19 @@ struct IOStats {
   /// Number of query terms evaluated (diagnostics).
   int64_t terms_evaluated = 0;
 
+  /// Cross-query term-cache counters (src/source/term_cache.h). These meter
+  /// the opt-in source query engine SEPARATELY from the paper's page-read
+  /// accounting: hits avoid page reads entirely, misses charge `page_reads`
+  /// as usual, and the reads spent patching cached answers under updates
+  /// accumulate in `term_cache_patch_reads` (source-side maintenance I/O,
+  /// never part of the paper's per-query M/B model). All zero — and absent
+  /// from ToString() — when the cache is disabled (the default).
+  int64_t term_cache_hits = 0;
+  int64_t term_cache_misses = 0;
+  int64_t term_cache_patches = 0;
+  int64_t term_cache_evictions = 0;
+  int64_t term_cache_patch_reads = 0;
+
   /// When true, the physical evaluator appends a human-readable line per
   /// plan step (probe/scan/loop decisions) to `plan_log` — an EXPLAIN for
   /// the Appendix D plans.
@@ -49,6 +62,11 @@ struct IOStats {
     index_probes += other.index_probes;
     full_scans += other.full_scans;
     terms_evaluated += other.terms_evaluated;
+    term_cache_hits += other.term_cache_hits;
+    term_cache_misses += other.term_cache_misses;
+    term_cache_patches += other.term_cache_patches;
+    term_cache_evictions += other.term_cache_evictions;
+    term_cache_patch_reads += other.term_cache_patch_reads;
     if (record_plans) {
       plan_log.insert(plan_log.end(), other.plan_log.begin(),
                       other.plan_log.end());
@@ -61,6 +79,12 @@ struct IOStats {
     d.index_probes = index_probes - other.index_probes;
     d.full_scans = full_scans - other.full_scans;
     d.terms_evaluated = terms_evaluated - other.terms_evaluated;
+    d.term_cache_hits = term_cache_hits - other.term_cache_hits;
+    d.term_cache_misses = term_cache_misses - other.term_cache_misses;
+    d.term_cache_patches = term_cache_patches - other.term_cache_patches;
+    d.term_cache_evictions = term_cache_evictions - other.term_cache_evictions;
+    d.term_cache_patch_reads =
+        term_cache_patch_reads - other.term_cache_patch_reads;
     return d;
   }
 

@@ -11,6 +11,32 @@ StoredRelation::StoredRelation(BaseRelationDef def, int tuples_per_block)
     : def_(std::move(def)),
       tuples_per_block_(tuples_per_block > 0 ? tuples_per_block : 1) {}
 
+const std::vector<Tuple>& StoredRelation::EmptyRows() {
+  static const std::vector<Tuple> kEmpty;
+  return kEmpty;
+}
+
+StoredRelation::Rep& StoredRelation::Mutable() {
+  if (!rep_) {
+    rep_ = std::make_shared<Rep>();
+    rep_->col_counts.resize(def_.schema.size());
+  } else if (rep_.use_count() > 1) {
+    rep_ = std::make_shared<Rep>(*rep_);
+  }
+  return *rep_;
+}
+
+void StoredRelation::CountTuple(Rep& rep, const Tuple& t, int64_t delta) {
+  for (size_t c = 0; c < rep.col_counts.size(); ++c) {
+    ColumnCounts& counts = rep.col_counts[c];
+    auto it = counts.try_emplace(t.value(c), 0).first;
+    it->second += delta;
+    if (it->second <= 0) {
+      counts.erase(it);
+    }
+  }
+}
+
 Result<size_t> StoredRelation::AttrIndex(const std::string& attr) const {
   std::optional<size_t> i = def_.schema.IndexOf(attr);
   if (!i.has_value()) {
@@ -34,10 +60,13 @@ Status StoredRelation::AddIndex(const std::string& attr, bool clustered) {
           StrCat("relation ", def_.name, " already has a clustered index"));
     }
     clustered_column_ = column;
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [column](const Tuple& a, const Tuple& b) {
-                       return a.value(column) < b.value(column);
-                     });
+    if (rep_ != nullptr && !rep_->rows.empty()) {
+      std::vector<Tuple>& rows = Mutable().rows;
+      std::stable_sort(rows.begin(), rows.end(),
+                       [column](const Tuple& a, const Tuple& b) {
+                         return a.value(column) < b.value(column);
+                       });
+    }
   }
   indexes_.push_back(IndexDef{attr, clustered});
   return Status::OK();
@@ -49,33 +78,68 @@ Status StoredRelation::Insert(const Tuple& tuple) {
         StrCat("tuple ", tuple.ToString(), " arity mismatch for relation ",
                def_.name));
   }
+  Rep& rep = Mutable();
   if (clustered_column_.has_value()) {
     const size_t column = *clustered_column_;
     auto pos = std::upper_bound(
-        rows_.begin(), rows_.end(), tuple,
+        rep.rows.begin(), rep.rows.end(), tuple,
         [column](const Tuple& a, const Tuple& b) {
           return a.value(column) < b.value(column);
         });
-    rows_.insert(pos, tuple);
+    rep.rows.insert(pos, tuple);
   } else {
-    rows_.push_back(tuple);
+    rep.rows.push_back(tuple);
   }
+  CountTuple(rep, tuple, +1);
   return Status::OK();
 }
 
 Status StoredRelation::Delete(const Tuple& tuple) {
-  auto it = std::find(rows_.begin(), rows_.end(), tuple);
-  if (it == rows_.end()) {
+  if (rep_ == nullptr) {
     return Status::FailedPrecondition(
         StrCat("delete of absent tuple ", tuple.ToString(), " from ",
                def_.name));
   }
-  rows_.erase(it);
+  // Locate in the shared rows first so a failed delete never clones.
+  auto it = std::find(rep_->rows.begin(), rep_->rows.end(), tuple);
+  if (it == rep_->rows.end()) {
+    return Status::FailedPrecondition(
+        StrCat("delete of absent tuple ", tuple.ToString(), " from ",
+               def_.name));
+  }
+  const size_t offset = static_cast<size_t>(it - rep_->rows.begin());
+  Rep& rep = Mutable();
+  rep.rows.erase(rep.rows.begin() + offset);
+  CountTuple(rep, tuple, -1);
+  return Status::OK();
+}
+
+Status StoredRelation::BulkLoad(std::vector<Tuple> tuples) {
+  for (const Tuple& t : tuples) {
+    if (t.size() != def_.schema.size()) {
+      return Status::InvalidArgument(
+          StrCat("tuple ", t.ToString(), " arity mismatch for relation ",
+                 def_.name));
+    }
+  }
+  Rep& rep = Mutable();
+  rep.rows.reserve(rep.rows.size() + tuples.size());
+  for (Tuple& t : tuples) {
+    CountTuple(rep, t, +1);
+    rep.rows.push_back(std::move(t));
+  }
+  if (clustered_column_.has_value()) {
+    const size_t column = *clustered_column_;
+    std::stable_sort(rep.rows.begin(), rep.rows.end(),
+                     [column](const Tuple& a, const Tuple& b) {
+                       return a.value(column) < b.value(column);
+                     });
+  }
   return Status::OK();
 }
 
 int StoredRelation::NumBlocks() const {
-  return static_cast<int>((rows_.size() + tuples_per_block_ - 1) /
+  return static_cast<int>((NumRows() + tuples_per_block_ - 1) /
                           tuples_per_block_);
 }
 
@@ -95,15 +159,15 @@ const IndexDef* StoredRelation::FindIndex(const std::string& attr) const {
 
 double StoredRelation::EstimatedMatchesPerKey(const std::string& attr) const {
   Result<size_t> column = AttrIndex(attr);
-  if (!column.ok() || rows_.empty()) {
+  if (!column.ok() || rep_ == nullptr || rep_->rows.empty()) {
     return 0.0;
   }
-  std::set<Value> distinct;
-  for (const Tuple& t : rows_) {
-    distinct.insert(t.value(*column));
+  const size_t distinct = rep_->col_counts[*column].size();
+  if (distinct == 0) {
+    return 0.0;
   }
-  return static_cast<double>(rows_.size()) /
-         static_cast<double>(distinct.size());
+  return static_cast<double>(rep_->rows.size()) /
+         static_cast<double>(distinct);
 }
 
 void StoredRelation::ChargeBlock(int b, IOStats* io, ReadCache* cache) const {
@@ -118,16 +182,17 @@ const std::vector<Tuple>& StoredRelation::FullScan(IOStats* io,
     ChargeBlock(b, io, cache);
   }
   ++io->full_scans;
-  return rows_;
+  return rows();
 }
 
 std::vector<Tuple> StoredRelation::Block(int b) const {
   std::vector<Tuple> out;
+  const std::vector<Tuple>& all = rows();
   const size_t begin = static_cast<size_t>(b) * tuples_per_block_;
   const size_t end =
-      std::min(rows_.size(), begin + static_cast<size_t>(tuples_per_block_));
+      std::min(all.size(), begin + static_cast<size_t>(tuples_per_block_));
   for (size_t i = begin; i < end; ++i) {
-    out.push_back(rows_[i]);
+    out.push_back(all[i]);
   }
   return out;
 }
@@ -144,11 +209,12 @@ Result<std::vector<Tuple>> StoredRelation::IndexProbe(const std::string& attr,
   WVM_ASSIGN_OR_RETURN(size_t column, AttrIndex(attr));
   ++io->index_probes;
 
+  const std::vector<Tuple>& all = rows();
   std::vector<Tuple> matches;
   std::set<int> blocks_touched;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].value(column) == value) {
-      matches.push_back(rows_[i]);
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].value(column) == value) {
+      matches.push_back(all[i]);
       blocks_touched.insert(static_cast<int>(i) / tuples_per_block_);
     }
   }
@@ -157,14 +223,14 @@ Result<std::vector<Tuple>> StoredRelation::IndexProbe(const std::string& attr,
     // One read per distinct block of matches; an unsuccessful probe still
     // touches the block where the value would live (if the file is
     // non-empty).
-    if (blocks_touched.empty() && !rows_.empty()) {
+    if (blocks_touched.empty() && !all.empty()) {
       // Block where the value would be inserted.
       auto pos = std::lower_bound(
-          rows_.begin(), rows_.end(), value,
+          all.begin(), all.end(), value,
           [this](const Tuple& t, const Value& v) {
             return t.value(*clustered_column_) < v;
           });
-      const int b = static_cast<int>(pos - rows_.begin()) /
+      const int b = static_cast<int>(pos - all.begin()) /
                     tuples_per_block_;
       ChargeBlock(std::min(b, NumBlocks() - 1), io, cache);
     }

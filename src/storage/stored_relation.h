@@ -1,8 +1,10 @@
 #ifndef WVM_STORAGE_STORED_RELATION_H_
 #define WVM_STORAGE_STORED_RELATION_H_
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -35,6 +37,15 @@ struct IndexDef {
 ///   * non-clustered index probe: one read per matching tuple;
 ///   * no caching: repeated probes re-charge.
 /// Index structures themselves are memory-resident and free.
+///
+/// Row storage is copy-on-write (the same idiom as Relation's counts map):
+/// copying a StoredRelation — and hence a whole StorageMap — shares the
+/// underlying rows and statistics; the first mutation of a shared relation
+/// clones them. A copied StorageMap therefore acts as a consistent snapshot
+/// that concurrent readers may scan and probe while updates proceed against
+/// the head version. Concurrent reads of relations sharing storage are
+/// safe; mutating one StoredRelation object concurrently with copying or
+/// reading that same object is not (the usual container contract).
 class StoredRelation {
  public:
   StoredRelation(BaseRelationDef def, int tuples_per_block);
@@ -48,9 +59,15 @@ class StoredRelation {
   /// Removes one copy of `tuple`; fails if absent.
   Status Delete(const Tuple& tuple);
 
+  /// Appends `tuples` in one pass: reserve, append all, then a single
+  /// stable sort by the clustered attribute (when one exists). Equivalent
+  /// to inserting row by row but O(n log n) total instead of O(n^2) from
+  /// per-tuple re-shifts of the clustered order; used for initial loads.
+  Status BulkLoad(std::vector<Tuple> tuples);
+
   const BaseRelationDef& def() const { return def_; }
   int tuples_per_block() const { return tuples_per_block_; }
-  size_t NumRows() const { return rows_.size(); }
+  size_t NumRows() const { return rows().size(); }
   /// I = ceil(C/K); 0 for an empty relation.
   int NumBlocks() const;
 
@@ -60,7 +77,9 @@ class StoredRelation {
   const IndexDef* FindIndex(const std::string& attr) const;
 
   /// Expected matches per key for `attr` — rows / distinct values — the
-  /// join factor J(r, attr) the planner uses (free: index metadata).
+  /// join factor J(r, attr) the planner uses (free: index metadata). O(1):
+  /// per-column distinct-value counts are maintained incrementally by
+  /// Insert/Delete/BulkLoad rather than recomputed per call.
   double EstimatedMatchesPerKey(const std::string& attr) const;
 
   /// Reads the whole file: charges NumBlocks() page reads (minus blocks
@@ -85,16 +104,36 @@ class StoredRelation {
   void ChargeBlock(int b, IOStats* io, ReadCache* cache) const;
 
   /// Raw rows without I/O charge (for tests and planner diagnostics).
-  const std::vector<Tuple>& rows() const { return rows_; }
+  const std::vector<Tuple>& rows() const {
+    return rep_ ? rep_->rows : EmptyRows();
+  }
 
  private:
+  /// Per-value row counts for one column; `size()` is the distinct count
+  /// the join-factor statistic needs.
+  using ColumnCounts = std::unordered_map<Value, int64_t, ValueHash>;
+
+  /// The shared (copy-on-write) storage: the physical rows plus the
+  /// per-column statistics that must stay in lockstep with them.
+  struct Rep {
+    std::vector<Tuple> rows;
+    std::vector<ColumnCounts> col_counts;  // one per schema column
+  };
+
+  static const std::vector<Tuple>& EmptyRows();
+
   Result<size_t> AttrIndex(const std::string& attr) const;
+
+  /// The mutable rep, cloned first if storage is currently shared.
+  Rep& Mutable();
+
+  void CountTuple(Rep& rep, const Tuple& t, int64_t delta);
 
   BaseRelationDef def_;
   int tuples_per_block_;
   std::vector<IndexDef> indexes_;
   std::optional<size_t> clustered_column_;
-  std::vector<Tuple> rows_;
+  std::shared_ptr<Rep> rep_;  // null = empty
 };
 
 }  // namespace wvm

@@ -317,4 +317,50 @@ Result<std::vector<Update>> MakeMixedUpdates(const Workload& workload,
   return updates;
 }
 
+Result<std::vector<Update>> MakeChurnUpdates(const Workload& workload,
+                                             int64_t k, int64_t pool_size,
+                                             Random* rng) {
+  if (workload.defs.empty()) {
+    return Status::InvalidArgument("workload has no relations");
+  }
+  if (pool_size < 1) {
+    return Status::InvalidArgument("pool_size must be >= 1");
+  }
+  InsertState state;
+  state.cardinality =
+      std::max<int64_t>(1, workload.initial.Get(workload.defs[0].name)
+                               .value()
+                               ->TotalPositive());
+  state.join_domain = JoinDomain(state.cardinality, 4);
+
+  // One fixed pool of hot tuples per relation; churn cycles within it.
+  std::vector<std::vector<Tuple>> pools(workload.defs.size());
+  for (size_t r = 0; r < workload.defs.size(); ++r) {
+    pools[r].reserve(pool_size);
+    for (int64_t p = 0; p < pool_size; ++p) {
+      pools[r].push_back(
+          GenerateInsertTuple(workload.defs, workload.defs[r], &state, rng));
+    }
+  }
+
+  // Presence tracking (multiplicity-aware, seeded from the initial data)
+  // guarantees every generated delete targets a live tuple.
+  Catalog shadow = workload.initial.Clone();
+  std::vector<Update> updates;
+  updates.reserve(k);
+  for (int64_t i = 0; i < k; ++i) {
+    const size_t r = static_cast<size_t>(i) % workload.defs.size();
+    const Tuple& t =
+        pools[r][(static_cast<size_t>(i) / workload.defs.size()) %
+                 pools[r].size()];
+    const std::string& name = workload.defs[r].name;
+    const Relation* live = shadow.Get(name).value();
+    Update u = live->CountOf(t) > 0 ? Update::Delete(name, t)
+                                    : Update::Insert(name, t);
+    WVM_RETURN_IF_ERROR(shadow.Apply(u));
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
 }  // namespace wvm

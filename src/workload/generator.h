@@ -87,6 +87,19 @@ Result<std::vector<Update>> MakeMixedUpdates(const Workload& workload,
                                              double delete_fraction,
                                              Random* rng);
 
+/// k churn updates cycling the relations round-robin, with each relation's
+/// updates cycling over a fixed pool of `pool_size` "hot" tuples: a pool
+/// tuple currently absent is inserted, a present one deleted, so the same
+/// tuples are inserted and deleted over and over (presence is tracked from
+/// the initial data, so every delete is valid). This models a source whose
+/// update traffic concentrates on a small working set — the regime where
+/// compensating queries repeat term shapes across updates, which is what a
+/// cross-query term cache exploits. Deletes and inserts of the same tuple
+/// share one term shape (signatures fold signs out).
+Result<std::vector<Update>> MakeChurnUpdates(const Workload& workload,
+                                             int64_t k, int64_t pool_size,
+                                             Random* rng);
+
 }  // namespace wvm
 
 #endif  // WVM_WORKLOAD_GENERATOR_H_

@@ -132,6 +132,90 @@ TEST(CachingTest, NonClusteredProbesChargePerBlockWithCache) {
   EXPECT_GT(cached.source.io_stats().page_reads, 0);
 }
 
+TEST(CachingTest, NonClusteredReProbeOfCachedBlocksIsFree) {
+  // Two terms probing r2's non-clustered Y index at the same value within
+  // one query: uncached, each probe charges per matching tuple (J reads);
+  // with the per-query cache the second term's probes land entirely on
+  // blocks the first already read, so only the fresh r1 probes (if any)
+  // charge. The charging delta isolates the re-probe.
+  CachedFixture plain = CachedFixture::Make(
+      PhysicalScenario::kIndexedMemory, false, false);
+  CachedFixture cached = CachedFixture::Make(
+      PhysicalScenario::kIndexedMemory, true, false);
+  Term t1 = *Term::FromView(plain.workload.view)
+                 .Substitute(Update::Insert("r3", Tuple::Ints({7, 5})));
+  Term t2 = t1;
+  t2.set_delta_update_id(2);
+  t2.set_coefficient(-1);  // distinct term, identical access pattern
+  Query q(1, 2, {t1, t2});
+  ASSERT_TRUE(plain.source.EvaluateQuery(q).ok());
+  ASSERT_TRUE(cached.source.EvaluateQuery(q).ok());
+  // Uncached: both terms charge the full 2J = 8 reads.
+  EXPECT_EQ(plain.source.io_stats().page_reads, 16);
+  // Cached: the second term re-probes only cached blocks — zero new reads.
+  const int64_t first_term_cost = 8;
+  EXPECT_LE(cached.source.io_stats().page_reads, first_term_cost);
+}
+
+TEST(CachingTest, BlockCacheAndTermOptimizationCompose) {
+  // A query mixing repeated shapes (optimize_terms collapses them) with
+  // distinct shapes touching overlapping blocks (cache_within_query
+  // collapses those): with both on, reads are no more than under either
+  // alone, and answers agree per term with the plain evaluation.
+  auto make_query = [](const Workload& w) {
+    Term a = *Term::FromView(w.view).Substitute(
+        Update::Insert("r1", Tuple::Ints({42, 3})));
+    Term b = a;
+    b.set_delta_update_id(2);
+    Term c = *Term::FromView(w.view).Substitute(
+        Update::Insert("r3", Tuple::Ints({7, 5})));
+    c.set_delta_update_id(3);
+    return Query(1, 3, {a, b, c});
+  };
+  auto run = [&](bool cache, bool optimize) {
+    CachedFixture f = CachedFixture::Make(PhysicalScenario::kIndexedMemory,
+                                          cache, optimize);
+    Result<AnswerMessage> answer =
+        f.source.EvaluateQuery(make_query(f.workload));
+    EXPECT_TRUE(answer.ok());
+    return std::pair<AnswerMessage, int64_t>(
+        *std::move(answer), f.source.io_stats().page_reads);
+  };
+  auto [plain, io_plain] = run(false, false);
+  auto [cached, io_cached] = run(true, false);
+  auto [optimized, io_optimized] = run(false, true);
+  auto [both, io_both] = run(true, true);
+  EXPECT_LE(io_both, io_cached);
+  EXPECT_LE(io_both, io_optimized);
+  EXPECT_LT(io_both, io_plain);
+  ASSERT_EQ(both.per_term.size(), plain.per_term.size());
+  for (size_t i = 0; i < plain.per_term.size(); ++i) {
+    EXPECT_EQ(both.per_term[i], plain.per_term[i]) << "term " << i;
+    EXPECT_EQ(optimized.per_term[i], plain.per_term[i]) << "term " << i;
+    EXPECT_EQ(cached.per_term[i], plain.per_term[i]) << "term " << i;
+  }
+}
+
+TEST(TermOptimizationTest, MixedSignShapesEvaluateOnce) {
+  // V<insert t> and V<delete t> differ only in the bound sign, which the
+  // shape signature folds out: with optimize_terms on the pair costs one
+  // evaluation, and the delete's answer is the insert's negation.
+  CachedFixture optimized = CachedFixture::Make(
+      PhysicalScenario::kIndexedMemory, false, true);
+  const Tuple t = Tuple::Ints({42, 3});
+  Term plus = *Term::FromView(optimized.workload.view)
+                   .Substitute(Update::Insert("r1", t));
+  Term minus = *Term::FromView(optimized.workload.view)
+                    .Substitute(Update::Delete("r1", t));
+  minus.set_delta_update_id(2);
+  Result<AnswerMessage> answer =
+      optimized.source.EvaluateQuery(Query(1, 2, {plus, minus}));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(optimized.source.io_stats().page_reads, 5);  // one plan, not two
+  ASSERT_EQ(answer->per_term.size(), 2u);
+  EXPECT_EQ(answer->per_term[1], answer->per_term[0].Negated());
+}
+
 TEST(CachingTest, AnswersUnaffectedByCharging) {
   // Caching and term optimization change accounting only, never results.
   Random rng(9);

@@ -100,4 +100,31 @@ Status Eca::OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) {
   return FoldAnswer(a);
 }
 
+std::shared_ptr<const MaintainerSnapshot> Eca::SnapshotState() const {
+  auto snap = std::make_shared<Snapshot>();
+  snap->mv = mv_;
+  snap->uqs = uqs_;
+  snap->collect = collect_;
+  return snap;
+}
+
+Status Eca::RestoreState(const MaintainerSnapshot& snapshot) {
+  const auto* snap = dynamic_cast<const Snapshot*>(&snapshot);
+  if (snap == nullptr) {
+    return Status::InvalidArgument("snapshot was not taken from ECA");
+  }
+  mv_ = snap->mv;
+  uqs_ = snap->uqs;
+  collect_ = snap->collect;
+  return Status::OK();
+}
+
+void Eca::LoseVolatileState() {
+  // MV persists on warehouse disk; UQS and COLLECT were in memory. Pending
+  // answers will now hit "answer for unknown query id" or, worse, silently
+  // never install — the lost-state anomaly the recovery journal exists for.
+  uqs_.clear();
+  collect_.Clear();
+}
+
 }  // namespace wvm

@@ -59,6 +59,15 @@ class Eca : public ViewMaintainer {
   /// The COLLECT relation.
   const Relation& collect() const { return collect_; }
 
+  /// ECA's recoverable state: MV plus the UQS and COLLECT progress.
+  struct Snapshot : MaintainerSnapshot {
+    std::map<uint64_t, Query> uqs;
+    Relation collect;
+  };
+  std::shared_ptr<const MaintainerSnapshot> SnapshotState() const override;
+  Status RestoreState(const MaintainerSnapshot& snapshot) override;
+  void LoseVolatileState() override;
+
  protected:
   /// Builds Q_i = V<u> - sum_{Q_j in UQS} Q_j<u> (or just V<u> when
   /// compensation is disabled). Returns an empty query when the update is

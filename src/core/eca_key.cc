@@ -117,4 +117,33 @@ Status EcaKey::OnAnswer(const AnswerMessage& a, WarehouseContext* ctx) {
   return Status::OK();
 }
 
+std::shared_ptr<const MaintainerSnapshot> EcaKey::SnapshotState() const {
+  auto snap = std::make_shared<Snapshot>();
+  snap->mv = mv_;
+  snap->uqs = uqs_;
+  snap->collect = collect_;
+  snap->key_delete_log = key_delete_log_;
+  return snap;
+}
+
+Status EcaKey::RestoreState(const MaintainerSnapshot& snapshot) {
+  const auto* snap = dynamic_cast<const Snapshot*>(&snapshot);
+  if (snap == nullptr) {
+    return Status::InvalidArgument("snapshot was not taken from ECA-Key");
+  }
+  mv_ = snap->mv;
+  uqs_ = snap->uqs;
+  collect_ = snap->collect;
+  key_delete_log_ = snap->key_delete_log;
+  return Status::OK();
+}
+
+void EcaKey::LoseVolatileState() {
+  // MV persists; the pending-query ids, the working copy, and the
+  // key-delete log were volatile. The working copy restarts from MV.
+  uqs_.clear();
+  key_delete_log_.clear();
+  collect_ = mv_;
+}
+
 }  // namespace wvm

@@ -35,6 +35,10 @@ class EcaKey : public ViewMaintainer {
 
   const Relation& collect() const { return collect_; }
 
+  std::shared_ptr<const MaintainerSnapshot> SnapshotState() const override;
+  Status RestoreState(const MaintainerSnapshot& snapshot) override;
+  void LoseVolatileState() override;
+
  private:
   /// A key-delete processed while insert queries were pending. The paper's
   /// Appendix C argument ("the query is executed after U_d, so it does not
@@ -58,6 +62,14 @@ class EcaKey : public ViewMaintainer {
 
   /// Installs COLLECT into MV if UQS is empty.
   void MaybeInstall();
+
+  /// ECA-Key's recoverable state: MV, pending query ids, the MV working
+  /// copy, and the key-delete log.
+  struct Snapshot : MaintainerSnapshot {
+    std::set<uint64_t> uqs;
+    Relation collect;
+    std::vector<LoggedKeyDelete> key_delete_log;
+  };
 
   std::set<uint64_t> uqs_;  // pending query ids (queries need not be kept)
   Relation collect_;        // working copy of MV

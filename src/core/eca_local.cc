@@ -126,4 +126,33 @@ void EcaLocal::ApplyAndMaybeInstall() {
   }
 }
 
+std::shared_ptr<const MaintainerSnapshot> EcaLocal::SnapshotState() const {
+  auto snap = std::make_shared<Snapshot>();
+  snap->mv = mv_;
+  snap->uqs = uqs_;
+  snap->pending = pending_;
+  snap->staged = staged_;
+  return snap;
+}
+
+Status EcaLocal::RestoreState(const MaintainerSnapshot& snapshot) {
+  const auto* snap = dynamic_cast<const Snapshot*>(&snapshot);
+  if (snap == nullptr) {
+    return Status::InvalidArgument("snapshot was not taken from ECA-Local");
+  }
+  mv_ = snap->mv;
+  uqs_ = snap->uqs;
+  pending_ = snap->pending;
+  staged_ = snap->staged;
+  return Status::OK();
+}
+
+void EcaLocal::LoseVolatileState() {
+  // MV persists; UQS, the operation buffer, and the staged view were
+  // volatile. The staged view restarts from MV.
+  uqs_.clear();
+  pending_.clear();
+  staged_ = mv_;
+}
+
 }  // namespace wvm

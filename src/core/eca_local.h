@@ -54,6 +54,10 @@ class EcaLocal : public ViewMaintainer {
   int64_t local_updates() const { return local_updates_; }
   int64_t remote_updates() const { return remote_updates_; }
 
+  std::shared_ptr<const MaintainerSnapshot> SnapshotState() const override;
+  Status RestoreState(const MaintainerSnapshot& snapshot) override;
+  void LoseVolatileState() override;
+
  private:
   struct PendingOp {
     enum class Kind { kDelta, kKeyDelete };
@@ -69,6 +73,15 @@ class EcaLocal : public ViewMaintainer {
   /// Applies ready leading operations to the staged view; installs MV when
   /// fully drained.
   void ApplyAndMaybeInstall();
+
+  /// ECA-Local's recoverable state: MV, UQS, the id-ordered operation
+  /// buffer, and the staged working view. The diagnostic counters are
+  /// deliberately excluded — they describe the run, not the view.
+  struct Snapshot : MaintainerSnapshot {
+    std::map<uint64_t, Query> uqs;
+    std::map<uint64_t, PendingOp> pending;
+    Relation staged;
+  };
 
   std::map<uint64_t, Query> uqs_;
   std::map<uint64_t, PendingOp> pending_;

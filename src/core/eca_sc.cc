@@ -163,4 +163,23 @@ int64_t EcaSc::ReplicaTupleCount() const {
   return total;
 }
 
+std::shared_ptr<const MaintainerSnapshot> EcaSc::SnapshotState() const {
+  auto snap = std::make_shared<ScSnapshot>();
+  snap->mv = mv_;
+  snap->uqs = uqs_;
+  snap->collect = collect_;
+  snap->replicas = replicas_.Clone();
+  return snap;
+}
+
+Status EcaSc::RestoreState(const MaintainerSnapshot& snapshot) {
+  const auto* snap = dynamic_cast<const ScSnapshot*>(&snapshot);
+  if (snap == nullptr) {
+    return Status::InvalidArgument("snapshot was not taken from ECA-SC");
+  }
+  WVM_RETURN_IF_ERROR(Eca::RestoreState(snapshot));
+  replicas_ = snap->replicas.Clone();
+  return Status::OK();
+}
+
 }  // namespace wvm

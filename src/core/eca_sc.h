@@ -52,7 +52,16 @@ class EcaSc : public Eca {
   int64_t ReplicaTupleCount() const;
   const Catalog& replicas() const { return replicas_; }
 
+  std::shared_ptr<const MaintainerSnapshot> SnapshotState() const override;
+  Status RestoreState(const MaintainerSnapshot& snapshot) override;
+
  private:
+  /// Extends ECA's snapshot with the replica catalog (the replicated-name
+  /// set is configuration, not state).
+  struct ScSnapshot : Eca::Snapshot {
+    Catalog replicas;
+  };
+
   /// True when every unbound position of `term` is replicated, so the
   /// term's value is computable from the replicas alone.
   bool IsFullyLocal(const Term& term) const;

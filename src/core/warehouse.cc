@@ -41,6 +41,11 @@ Status Warehouse::HandleMessage(const SourceMessage& message) {
 }
 
 void Warehouse::SendQuery(Query query) {
+  if (replaying_) {
+    // Journal replay: this query was metered, journaled, and transmitted
+    // before the crash; re-executing the event only rebuilds local state.
+    return;
+  }
   QueryMessage message{std::move(query)};
   meter_->RecordQuery(message);
   to_source_->Send(std::move(message));

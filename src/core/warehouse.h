@@ -31,6 +31,16 @@ class WarehouseContext {
   virtual void NotifyViewChanged() {}
 };
 
+/// A deep copy of a maintainer's full state, taken at a checkpoint and
+/// restored after a crash. The base carries what every maintainer has — the
+/// materialized view — and each algorithm subclasses it with its own
+/// bookkeeping (UQS, COLLECT progress, pending buffers). Relations are
+/// copy-on-write underneath, so snapshots are cheap to take and hold.
+struct MaintainerSnapshot {
+  virtual ~MaintainerSnapshot() = default;
+  Relation mv;
+};
+
 /// A view-maintenance algorithm running at the warehouse. The simulator
 /// drives it with exactly the two warehouse event types of Section 3:
 /// W_up (an update notification arrived) and W_ans (a query answer
@@ -71,6 +81,27 @@ class ViewMaintainer {
   /// True when the maintainer has no outstanding bookkeeping (empty UQS,
   /// no buffered deltas). Used by tests to assert clean quiescence.
   virtual bool IsQuiescent() const { return true; }
+
+  /// Deep-copies the maintainer's full state for a recovery checkpoint.
+  /// Subclasses with bookkeeping beyond MV override both snapshot hooks
+  /// with a MaintainerSnapshot subclass carrying it.
+  virtual std::shared_ptr<const MaintainerSnapshot> SnapshotState() const {
+    auto snap = std::make_shared<MaintainerSnapshot>();
+    snap->mv = mv_;
+    return snap;
+  }
+
+  /// Restores state captured by SnapshotState() (same dynamic type).
+  virtual Status RestoreState(const MaintainerSnapshot& snapshot) {
+    mv_ = snapshot.mv;
+    return Status::OK();
+  }
+
+  /// Models a crash WITHOUT recovery: the materialized view survives (it
+  /// lives on warehouse disk in the paper's setting) but all volatile
+  /// bookkeeping — UQS, COLLECT progress, pending buffers — is lost. Used
+  /// by the anomaly demonstrations; the default has nothing volatile.
+  virtual void LoseVolatileState() {}
 
  protected:
   /// Builds the single-term query V<u> tagged with u.id, or nullopt when
@@ -115,12 +146,26 @@ class Warehouse : public WarehouseContext {
   ViewMaintainer& maintainer() { return *maintainer_; }
   const ViewMaintainer& maintainer() const { return *maintainer_; }
 
+  /// Recovery support: the query-id counter is part of the checkpointed
+  /// warehouse state (replayed events must re-allocate the very ids they
+  /// allocated the first time).
+  uint64_t next_query_id() const { return next_query_id_; }
+  void set_next_query_id(uint64_t id) { next_query_id_ = id; }
+
+  /// While replaying the inbound journal after a restart, the maintainer
+  /// re-executes events whose outgoing queries already went to the wire
+  /// (they sit in the outbound journal and the endpoint re-syncs them), so
+  /// SendQuery must neither meter nor transmit — replay only rebuilds
+  /// in-memory state.
+  void set_replaying(bool replaying) { replaying_ = replaying; }
+
  private:
   std::unique_ptr<ViewMaintainer> maintainer_;
   TransportChannel<QueryMessage>* to_source_;
   CostMeter* meter_;
   std::function<void()> view_observer_;
   uint64_t next_query_id_ = 1;
+  bool replaying_ = false;
 };
 
 }  // namespace wvm

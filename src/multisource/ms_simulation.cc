@@ -190,17 +190,27 @@ Status MsSimulation::RunRandom(uint64_t seed) {
   }
 }
 
+int MsActionPriority(MsAction::Kind kind) {
+  switch (kind) {
+    case MsAction::Kind::kWarehouseStep:
+      return 3;
+    case MsAction::Kind::kSourceAnswer:
+      return 2;
+    case MsAction::Kind::kSourceUpdate:
+      return 1;
+  }
+  return 0;
+}
+
 Status MsSimulation::RunBestCase() {
   while (true) {
     std::vector<MsAction> actions = EnabledActions();
     if (actions.empty()) {
       return Status::OK();
     }
-    // Prefer warehouse steps, then answers, then updates — each update's
-    // round trip drains before the next update anywhere.
     const MsAction* chosen = &actions.front();
     for (const MsAction& a : actions) {
-      if (static_cast<int>(a.kind) > static_cast<int>(chosen->kind)) {
+      if (MsActionPriority(a.kind) > MsActionPriority(chosen->kind)) {
         chosen = &a;
       }
     }

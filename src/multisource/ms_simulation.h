@@ -24,6 +24,13 @@ struct MsAction {
   size_t source;  // which source (for kWarehouseStep: which inbound stream)
 };
 
+/// Best-case scheduling priority of an action kind: warehouse steps drain
+/// before answers are produced, answers before new updates start, so each
+/// update's full round trip completes before the next update anywhere.
+/// Higher wins. Deliberately independent of the enum's declaration order —
+/// reordering Kind must not silently change the schedule.
+int MsActionPriority(MsAction::Kind kind);
+
 /// A warehouse integrating N autonomous sources, each with its own
 /// relations, its own update script, and its own FIFO channel pair.
 /// Within a source everything is ordered; across sources nothing is —

@@ -1,0 +1,20 @@
+#include "recovery/journal.h"
+
+namespace wvm {
+
+uint64_t JournalChecksum(uint64_t lsn, const std::string& payload) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;  // FNV prime
+  };
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<unsigned char>(lsn >> (8 * i)));
+  }
+  for (char c : payload) {
+    mix(static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+}  // namespace wvm

@@ -14,6 +14,16 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   if (options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
+  if (options.recovery.enabled &&
+      (!options.fault.enabled || !options.fault.reliable)) {
+    // Recovery re-syncs the endpoints from the journals; without the
+    // protocol there is no sequence numbering to key the journals by.
+    return Status::InvalidArgument(
+        "recovery requires the reliable transport mode");
+  }
+  if (options.recovery.checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
   auto sim = std::unique_ptr<Simulation>(new Simulation(view, options));
   {
     // Install the transport mode on both directions before any traffic.
@@ -33,14 +43,38 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
       raw->meter_.RecordRetransmit(bytes);
     };
     down_hooks.on_ack_frame = [raw] { raw->meter_.RecordAckMessage(); };
-    WVM_RETURN_IF_ERROR(
-        sim->to_warehouse_.Configure(options.fault, /*salt=*/1,
-                                     std::move(down_hooks)));
     TransportHooks<QueryMessage> up_hooks;
     up_hooks.on_retransmit = [raw](int64_t bytes) {
       raw->meter_.RecordRetransmit(bytes);
     };
     up_hooks.on_ack_frame = [raw] { raw->meter_.RecordAckMessage(); };
+    if (options.recovery.enabled) {
+      // Write-ahead journaling, keyed by the protocol's sequence numbers:
+      // sends are journaled at the originating site before the wire, and
+      // deliveries at the receiving site before the covering ack leaves
+      // ("acked => journaled", the invariant that makes acks safe). The
+      // journal Appends cannot fail here — the endpoint hands out strictly
+      // increasing sequence numbers in exactly journal-append order.
+      down_hooks.on_send = [raw](uint64_t seq, const SourceMessage& m) {
+        WVM_REQUIRE(raw->src_log_.outbound.Append(seq, m).ok(),
+                    "source outbound journal append failed");
+      };
+      down_hooks.on_deliver = [raw](uint64_t seq, const SourceMessage& m) {
+        WVM_REQUIRE(raw->wh_log_.inbound.Append(seq, m).ok(),
+                    "warehouse inbound journal append failed");
+      };
+      up_hooks.on_send = [raw](uint64_t seq, const QueryMessage& m) {
+        WVM_REQUIRE(raw->wh_log_.outbound.Append(seq, m).ok(),
+                    "warehouse outbound journal append failed");
+      };
+      up_hooks.on_deliver = [raw](uint64_t seq, const QueryMessage& m) {
+        WVM_REQUIRE(raw->src_log_.inbound.Append(seq, m).ok(),
+                    "source inbound journal append failed");
+      };
+    }
+    WVM_RETURN_IF_ERROR(
+        sim->to_warehouse_.Configure(options.fault, /*salt=*/1,
+                                     std::move(down_hooks)));
     WVM_RETURN_IF_ERROR(sim->to_source_.Configure(options.fault, /*salt=*/2,
                                                   std::move(up_hooks)));
   }
@@ -67,6 +101,12 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
     // ss_0 and ws_0: the paper assumes V[ws_0] = V[ss_0].
     WVM_RETURN_IF_ERROR(sim->RecordSourceState());
     sim->RecordWarehouseState();
+  }
+  if (options.recovery.enabled) {
+    // A restart always has a checkpoint to rebuild from: fold the initial
+    // state of both sites into checkpoint zero.
+    WVM_RETURN_IF_ERROR(sim->CheckpointWarehouse());
+    WVM_RETURN_IF_ERROR(sim->CheckpointSource());
   }
   return sim;
 }
@@ -98,17 +138,25 @@ size_t Simulation::updates_remaining() const {
   return remaining;
 }
 
-bool Simulation::CanSourceUpdate() const { return cursor_ < script_.size(); }
-bool Simulation::CanSourceAnswer() const { return to_source_.HasMessage(); }
+bool Simulation::CanSourceUpdate() const {
+  return source_up_ && cursor_ < script_.size();
+}
+bool Simulation::CanSourceAnswer() const {
+  return source_up_ && to_source_.HasMessage();
+}
 bool Simulation::CanWarehouseStep() const {
-  return to_warehouse_.HasMessage();
+  return warehouse_up_ && to_warehouse_.HasMessage();
 }
 bool Simulation::CanTransportTick() const {
+  // The wire is not part of either site: transport time passes even while
+  // a site is down (frames arriving at a crashed receiver are discarded).
   return to_warehouse_.HasTimedWork() || to_source_.HasTimedWork();
 }
 bool Simulation::Quiescent() const {
-  return !CanSourceUpdate() && !CanSourceAnswer() && !CanWarehouseStep() &&
-         !CanTransportTick();
+  // A crashed site is never quiescent — it must be restarted first (its
+  // peer would otherwise retransmit into the void forever).
+  return warehouse_up_ && source_up_ && !CanSourceUpdate() &&
+         !CanSourceAnswer() && !CanWarehouseStep() && !CanTransportTick();
 }
 
 Status Simulation::RecordSourceState() {
@@ -118,13 +166,19 @@ Status Simulation::RecordSourceState() {
 }
 
 void Simulation::RecordWarehouseState() {
+  if (replaying_) {
+    // Journal replay reconstructs states the log already recorded before
+    // the crash; recording them again would fabricate history.
+    return;
+  }
   state_log_.RecordWarehouseState(warehouse_->maintainer().view_contents(),
                                   event_seq_);
 }
 
 Status Simulation::StepSourceUpdate() {
   if (!CanSourceUpdate()) {
-    return Status::FailedPrecondition("no scripted updates left");
+    return Status::FailedPrecondition(
+        source_up_ ? "no scripted updates left" : "source is down");
   }
   ++event_seq_;
   // Execute the next batch (usually of size 1) as one atomic source event,
@@ -152,12 +206,13 @@ Status Simulation::StepSourceUpdate() {
   if (options_.record_states) {
     WVM_RETURN_IF_ERROR(RecordSourceState());
   }
-  return Status::OK();
+  return NoteSourceConsumed(0);
 }
 
 Status Simulation::StepSourceAnswer() {
   if (!CanSourceAnswer()) {
-    return Status::FailedPrecondition("no pending queries at the source");
+    return Status::FailedPrecondition(
+        source_up_ ? "no pending queries at the source" : "source is down");
   }
   ++event_seq_;
   if (options_.parallel_source_answers) {
@@ -181,7 +236,7 @@ Status Simulation::StepSourceAnswer() {
       meter_.RecordAnswer(answers[i]);
       to_warehouse_.Send(std::move(answers[i]));
     }
-    return Status::OK();
+    return NoteSourceConsumed(batch.size());
   }
   QueryMessage qm = to_source_.Receive();
   WVM_ASSIGN_OR_RETURN(AnswerMessage answer,
@@ -193,12 +248,14 @@ Status Simulation::StepSourceAnswer() {
   }
   meter_.RecordAnswer(answer);
   to_warehouse_.Send(std::move(answer));
-  return Status::OK();
+  return NoteSourceConsumed(1);
 }
 
 Status Simulation::StepWarehouse() {
   if (!CanWarehouseStep()) {
-    return Status::FailedPrecondition("no messages for the warehouse");
+    return Status::FailedPrecondition(
+        warehouse_up_ ? "no messages for the warehouse"
+                      : "warehouse is down");
   }
   ++event_seq_;
   SourceMessage m = to_warehouse_.Receive();
@@ -219,7 +276,7 @@ Status Simulation::StepWarehouse() {
   if (options_.record_states) {
     RecordWarehouseState();
   }
-  return Status::OK();
+  return NoteWarehouseConsumed(1);
 }
 
 Status Simulation::StepTransportTick() {
@@ -236,6 +293,269 @@ Status Simulation::StepTransportTick() {
   return Status::OK();
 }
 
+Status Simulation::CheckCrashSupported() const {
+  if (!options_.fault.enabled || !options_.fault.reliable) {
+    // Crash semantics are defined in terms of the endpoint's sender and
+    // receiver halves; the plain FIFO channel has neither.
+    return Status::FailedPrecondition(
+        "crash-restart requires the reliable transport mode");
+  }
+  return Status::OK();
+}
+
+bool Simulation::CanCrashWarehouse() const {
+  return options_.fault.enabled && options_.fault.reliable && warehouse_up_;
+}
+
+bool Simulation::CanCrashSource() const {
+  return options_.fault.enabled && options_.fault.reliable && source_up_;
+}
+
+Status Simulation::CrashWarehouse() {
+  WVM_RETURN_IF_ERROR(CheckCrashSupported());
+  if (!warehouse_up_) {
+    return Status::FailedPrecondition("warehouse is already down");
+  }
+  ++event_seq_;
+  warehouse_up_ = false;
+  // The warehouse is the receiver of source messages and the sender of
+  // queries; both halves lose their volatile buffers. Frames already on
+  // the wire survive — the wire is not part of the site.
+  to_warehouse_.CrashReceiver();
+  to_source_.CrashSender();
+  // RAM is gone: UQS, COLLECT, pending buffers. MV survives on disk.
+  warehouse_->maintainer().LoseVolatileState();
+  if (options_.record_trace) {
+    trace_.Add(TraceEvent::Kind::kCrash,
+               "warehouse crashes, losing all volatile state");
+  }
+  return Status::OK();
+}
+
+Status Simulation::RestartWarehouse() {
+  WVM_RETURN_IF_ERROR(CheckCrashSupported());
+  if (warehouse_up_) {
+    return Status::FailedPrecondition("warehouse is not down");
+  }
+  ++event_seq_;
+  if (options_.recovery.enabled) {
+    WVM_RETURN_IF_ERROR(RecoverWarehouse());
+  } else {
+    // Bare restart: resume with whatever survived — MV on disk, empty
+    // bookkeeping. Messages that were delivered (and acked) but not yet
+    // consumed are gone for good: the lost-state anomaly.
+    to_warehouse_.RestartReceiver();
+    to_source_.RestartSender();
+  }
+  warehouse_up_ = true;
+  if (options_.record_trace) {
+    trace_.Add(TraceEvent::Kind::kRestart,
+               options_.recovery.enabled
+                   ? "warehouse restarts: checkpoint restored, journal tail "
+                     "replayed, endpoint re-synced"
+                   : "warehouse restarts bare (no recovery journal)");
+  }
+  return Status::OK();
+}
+
+Status Simulation::CrashSource() {
+  WVM_RETURN_IF_ERROR(CheckCrashSupported());
+  if (!source_up_) {
+    return Status::FailedPrecondition("source is already down");
+  }
+  ++event_seq_;
+  source_up_ = false;
+  // The source is the receiver of queries and the sender of notifications
+  // and answers. Its base data lives on disk (the catalog and storage
+  // survive any crash); what a bare restart loses are the queries that
+  // were delivered but not yet answered.
+  to_source_.CrashReceiver();
+  to_warehouse_.CrashSender();
+  if (options_.record_trace) {
+    trace_.Add(TraceEvent::Kind::kCrash,
+               "source crashes, losing all volatile state");
+  }
+  return Status::OK();
+}
+
+Status Simulation::RestartSource() {
+  WVM_RETURN_IF_ERROR(CheckCrashSupported());
+  if (source_up_) {
+    return Status::FailedPrecondition("source is not down");
+  }
+  ++event_seq_;
+  if (options_.recovery.enabled) {
+    WVM_RETURN_IF_ERROR(RecoverSource());
+  } else {
+    to_source_.RestartReceiver();
+    to_warehouse_.RestartSender();
+  }
+  source_up_ = true;
+  if (options_.record_trace) {
+    trace_.Add(TraceEvent::Kind::kRestart,
+               options_.recovery.enabled
+                   ? "source restarts: checkpoint restored, update history "
+                     "replayed, endpoint re-synced"
+                   : "source restarts bare (no recovery journal)");
+  }
+  return Status::OK();
+}
+
+Status Simulation::RecoverWarehouse() {
+  const WarehouseCheckpoint& ckpt = *wh_log_.checkpoint;
+  WVM_RETURN_IF_ERROR(
+      warehouse_->maintainer().RestoreState(*ckpt.maintainer));
+  warehouse_->set_next_query_id(ckpt.next_query_id);
+  // Replay the inbound journal between the checkpoint and the consumed
+  // floor. Re-execution rebuilds UQS/COLLECT exactly (same messages, same
+  // order, same query ids); sends and metering are suppressed because the
+  // original execution already journaled and transmitted those queries,
+  // and state-log recording is suppressed because these states were
+  // recorded before the crash.
+  warehouse_->set_replaying(true);
+  replaying_ = true;
+  Status replay = wh_log_.inbound.Scan(
+      ckpt.consumed_floor, wh_log_.consumed,
+      [this](uint64_t, const SourceMessage& m) {
+        return warehouse_->HandleMessage(m);
+      });
+  warehouse_->set_replaying(false);
+  replaying_ = false;
+  WVM_RETURN_IF_ERROR(replay);
+  // Delivered-but-unconsumed frames were journaled (acked => journaled)
+  // even though the endpoint's queue died with the site: re-enqueue them
+  // and restart the receiver at the journal's high-water mark.
+  std::deque<SourceMessage> tail;
+  WVM_RETURN_IF_ERROR(wh_log_.inbound.Scan(
+      wh_log_.consumed, wh_log_.inbound.end_lsn(),
+      [&tail](uint64_t, const SourceMessage& m) {
+        tail.push_back(m);
+        return Status::OK();
+      }));
+  to_warehouse_.RestartReceiver(wh_log_.inbound.end_lsn(), std::move(tail));
+  // Conservatively re-install every retained outbound record as the unacked
+  // window: retransmission repairs in-flight loss, the source's dedup
+  // absorbs duplicates, and its next cumulative ack prunes the excess.
+  std::map<uint64_t, QueryMessage> unacked;
+  WVM_RETURN_IF_ERROR(wh_log_.outbound.Scan(
+      wh_log_.outbound.begin_lsn(), wh_log_.outbound.end_lsn(),
+      [&unacked](uint64_t lsn, const QueryMessage& m) {
+        unacked.emplace(lsn, m);
+        return Status::OK();
+      }));
+  to_source_.RestartSender(wh_log_.outbound.end_lsn(), std::move(unacked));
+  return Status::OK();
+}
+
+Status Simulation::RecoverSource() {
+  const SourceCheckpoint& ckpt = *src_log_.checkpoint;
+  source_->RestoreSnapshot(ckpt.catalog.Clone(), ckpt.storage);
+  // The outbound journal doubles as the update history: re-execute the
+  // updates announced by every notification past the checkpoint's outbound
+  // floor. Answers carry no source state and are skipped here (their
+  // payloads are re-sent below).
+  WVM_RETURN_IF_ERROR(src_log_.outbound.Scan(
+      ckpt.outbound_floor, src_log_.outbound.end_lsn(),
+      [this](uint64_t, const SourceMessage& m) -> Status {
+        if (const auto* up = std::get_if<UpdateNotification>(&m)) {
+          return source_->ExecuteUpdate(up->update);
+        }
+        if (const auto* batch = std::get_if<BatchNotification>(&m)) {
+          for (const Update& u : batch->updates) {
+            WVM_RETURN_IF_ERROR(source_->ExecuteUpdate(u));
+          }
+        }
+        return Status::OK();
+      }));
+  // Queries delivered but not yet answered come back from the inbound
+  // journal; already-answered ones are covered by the consumed floor.
+  std::deque<QueryMessage> tail;
+  WVM_RETURN_IF_ERROR(src_log_.inbound.Scan(
+      src_log_.consumed, src_log_.inbound.end_lsn(),
+      [&tail](uint64_t, const QueryMessage& m) {
+        tail.push_back(m);
+        return Status::OK();
+      }));
+  to_source_.RestartReceiver(src_log_.inbound.end_lsn(), std::move(tail));
+  std::map<uint64_t, SourceMessage> unacked;
+  WVM_RETURN_IF_ERROR(src_log_.outbound.Scan(
+      src_log_.outbound.begin_lsn(), src_log_.outbound.end_lsn(),
+      [&unacked](uint64_t lsn, const SourceMessage& m) {
+        unacked.emplace(lsn, m);
+        return Status::OK();
+      }));
+  to_warehouse_.RestartSender(src_log_.outbound.end_lsn(),
+                              std::move(unacked));
+  return Status::OK();
+}
+
+Status Simulation::CheckpointWarehouse() {
+  if (!options_.recovery.enabled) {
+    return Status::FailedPrecondition("recovery is not enabled");
+  }
+  if (!warehouse_up_) {
+    return Status::FailedPrecondition("cannot checkpoint a crashed site");
+  }
+  WarehouseCheckpoint ckpt;
+  ckpt.maintainer = warehouse_->maintainer().SnapshotState();
+  ckpt.next_query_id = warehouse_->next_query_id();
+  ckpt.consumed_floor = wh_log_.consumed;
+  wh_log_.checkpoint = std::move(ckpt);
+  // Consumed inbound frames are folded into the snapshot; outbound frames
+  // below the cumulative ack can never be needed for re-send.
+  wh_log_.inbound.TruncateBelow(wh_log_.consumed);
+  wh_log_.outbound.TruncateBelow(to_source_.acked_floor());
+  wh_log_.events_since_checkpoint = 0;
+  return Status::OK();
+}
+
+Status Simulation::CheckpointSource() {
+  if (!options_.recovery.enabled) {
+    return Status::FailedPrecondition("recovery is not enabled");
+  }
+  if (!source_up_) {
+    return Status::FailedPrecondition("cannot checkpoint a crashed site");
+  }
+  SourceCheckpoint ckpt;
+  ckpt.catalog = source_->catalog().Clone();
+  ckpt.storage = source_->SnapshotStorage();
+  ckpt.consumed_floor = src_log_.consumed;
+  ckpt.outbound_floor = src_log_.outbound.end_lsn();
+  src_log_.checkpoint = std::move(ckpt);
+  src_log_.inbound.TruncateBelow(src_log_.consumed);
+  // Keep everything at or above the cumulative ack: the un-acked suffix is
+  // both the re-send set and (above outbound_floor) the replay range.
+  src_log_.outbound.TruncateBelow(to_warehouse_.acked_floor());
+  src_log_.events_since_checkpoint = 0;
+  return Status::OK();
+}
+
+Status Simulation::NoteWarehouseConsumed(uint64_t frames) {
+  if (!options_.recovery.enabled) {
+    return Status::OK();
+  }
+  wh_log_.consumed += frames;
+  ++wh_log_.events_since_checkpoint;
+  if (options_.recovery.checkpoint_every > 0 &&
+      wh_log_.events_since_checkpoint >= options_.recovery.checkpoint_every) {
+    return CheckpointWarehouse();
+  }
+  return Status::OK();
+}
+
+Status Simulation::NoteSourceConsumed(uint64_t frames) {
+  if (!options_.recovery.enabled) {
+    return Status::OK();
+  }
+  src_log_.consumed += frames;
+  ++src_log_.events_since_checkpoint;
+  if (options_.recovery.checkpoint_every > 0 &&
+      src_log_.events_since_checkpoint >= options_.recovery.checkpoint_every) {
+    return CheckpointSource();
+  }
+  return Status::OK();
+}
+
 Status Simulation::Step(SimAction action) {
   switch (action) {
     case SimAction::kSourceUpdate:
@@ -246,6 +566,14 @@ Status Simulation::Step(SimAction action) {
       return StepWarehouse();
     case SimAction::kTransportTick:
       return StepTransportTick();
+    case SimAction::kCrashWarehouse:
+      return CrashWarehouse();
+    case SimAction::kRestartWarehouse:
+      return RestartWarehouse();
+    case SimAction::kCrashSource:
+      return CrashSource();
+    case SimAction::kRestartSource:
+      return RestartSource();
     case SimAction::kNone:
       return Status::FailedPrecondition("no action enabled");
   }

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "consistency/state_log.h"
 #include "core/warehouse.h"
+#include "recovery/site_log.h"
 #include "query/catalog.h"
 #include "query/view_def.h"
 #include "sim/trace.h"
@@ -25,12 +26,28 @@ namespace wvm {
 /// currently enabled actions, which is exactly the nondeterminism the
 /// paper's anomalies live in.
 enum class SimAction {
-  kSourceUpdate,    // S_up: execute the next scripted update (or batch)
-  kSourceAnswer,    // S_qu: evaluate the oldest pending query
-  kWarehouseStep,   // W_up / W_ans: consume the next source message
-  kTransportTick,   // time passes on the wire: delayed frames advance,
-                    // retransmission timers fire (faults enabled only)
-  kNone,            // nothing enabled: quiescent
+  kSourceUpdate,      // S_up: execute the next scripted update (or batch)
+  kSourceAnswer,      // S_qu: evaluate the oldest pending query
+  kWarehouseStep,     // W_up / W_ans: consume the next source message
+  kTransportTick,     // time passes on the wire: delayed frames advance,
+                      // retransmission timers fire (faults enabled only)
+  kCrashWarehouse,    // the warehouse site crashes (reliable mode only)
+  kRestartWarehouse,  // the warehouse site restarts (recovers if enabled)
+  kCrashSource,       // the source site crashes (reliable mode only)
+  kRestartSource,     // the source site restarts (recovers if enabled)
+  kNone,              // nothing enabled: quiescent
+};
+
+/// Crash-restart recovery (DESIGN.md Section 2e). Off by default: no
+/// journaling, no checkpoints, and crash-free runs are byte-identical to a
+/// build without the subsystem. Requires the reliable transport (recovery
+/// re-syncs the endpoint from the journals; without the protocol there is
+/// no sequence numbering to key them by).
+struct RecoveryOptions {
+  bool enabled = false;
+  /// Auto-checkpoint a site after this many consumed events (0 = only the
+  /// initial checkpoint and explicit Checkpoint*() calls).
+  int checkpoint_every = 0;
 };
 
 struct SimulationOptions {
@@ -64,6 +81,9 @@ struct SimulationOptions {
   /// warehouse->source). Off by default: the channels stay plain FIFO and
   /// every run is byte-identical to the pre-transport system.
   FaultConfig fault;
+  /// Crash-restart recovery: journaling, checkpoints, and the kCrash /
+  /// kRestart actions' recovered-restart path.
+  RecoveryOptions recovery;
 };
 
 /// Owns one complete single-source / single-warehouse system: the source
@@ -99,6 +119,37 @@ class Simulation {
   Status StepSourceAnswer();
   Status StepWarehouse();
   Status StepTransportTick();
+
+  // --- Crash-restart (requires the reliable transport mode) -----------------
+  // A crash is atomic between schedule events: the site's volatile state —
+  // endpoint buffers, maintainer bookkeeping — vanishes; frames already on
+  // the wire survive (the wire is not part of either site). What a restart
+  // rebuilds depends on RecoveryOptions::enabled: with recovery, checkpoint
+  // + journal replay + endpoint re-sync restore the exact pre-crash state;
+  // without, the site resumes bare and the lost-state anomaly is observable.
+
+  bool warehouse_up() const { return warehouse_up_; }
+  bool source_up() const { return source_up_; }
+  bool CanCrashWarehouse() const;
+  bool CanCrashSource() const;
+
+  Status CrashWarehouse();
+  Status RestartWarehouse();
+  Status CrashSource();
+  Status RestartSource();
+
+  /// Folds the site's current state into a new checkpoint and truncates the
+  /// prefix of its journals the checkpoint made redundant. Recovery mode
+  /// only; an initial checkpoint is taken automatically at Create.
+  Status CheckpointWarehouse();
+  Status CheckpointSource();
+
+  /// The durable (crash-surviving) state of each site; mutable access is
+  /// for tests that corrupt journal records.
+  const WarehouseSiteLog& warehouse_log() const { return wh_log_; }
+  WarehouseSiteLog& mutable_warehouse_log() { return wh_log_; }
+  const SourceSiteLog& source_log() const { return src_log_; }
+  SourceSiteLog& mutable_source_log() { return src_log_; }
 
   /// Performs `action`; kNone is an error.
   Status Step(SimAction action);
@@ -144,6 +195,16 @@ class Simulation {
   Status RecordSourceState();
   void RecordWarehouseState();
 
+  /// Shared precondition of every crash/restart entry point.
+  Status CheckCrashSupported() const;
+  /// Recovered-restart bodies (recovery mode only).
+  Status RecoverWarehouse();
+  Status RecoverSource();
+  /// Bumps a site's consumed-event counter and auto-checkpoints when the
+  /// configured interval elapses. No-ops with recovery disabled.
+  Status NoteWarehouseConsumed(uint64_t frames);
+  Status NoteSourceConsumed(uint64_t frames);
+
   ViewDefinitionPtr view_;
   SimulationOptions options_;
   CostMeter meter_;
@@ -157,6 +218,13 @@ class Simulation {
   size_t cursor_ = 0;
   uint64_t next_update_id_ = 1;
   uint64_t event_seq_ = 0;  // logical clock across all sites
+  // Crash-restart state. The site logs model each site's disk: populated
+  // only in recovery mode, and the only site state a kCrash leaves intact.
+  WarehouseSiteLog wh_log_;
+  SourceSiteLog src_log_;
+  bool warehouse_up_ = true;
+  bool source_up_ = true;
+  bool replaying_ = false;  // suppresses state-log records during replay
 };
 
 }  // namespace wvm

@@ -16,6 +16,10 @@ const char* TraceEvent::KindName(Kind kind) {
       return "W_ans";
     case Kind::kTransportTick:
       return "T_tick";
+    case Kind::kCrash:
+      return "CRASH";
+    case Kind::kRestart:
+      return "RESTART";
   }
   return "?";
 }

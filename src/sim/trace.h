@@ -16,6 +16,8 @@ struct TraceEvent {
     kWarehouseUpdate,  // W_up (or a batch W_up)
     kWarehouseAnswer,  // W_ans
     kTransportTick,    // transport time advances (fault injection only)
+    kCrash,            // a site crashes, losing its volatile state
+    kRestart,          // a crashed site comes back (recovered or bare)
   };
 
   Kind kind;

@@ -87,6 +87,16 @@ Status Source::ExecuteUpdate(const Update& u) {
   return Status::OK();
 }
 
+void Source::RestoreSnapshot(Catalog catalog, StorageMap storage) {
+  catalog_ = std::move(catalog);
+  storage_ = std::move(storage);
+  if (term_cache_ != nullptr) {
+    // Cold cache after a crash: every retained entry describes pre-crash
+    // state and must not answer post-restart queries.
+    term_cache_ = std::make_unique<TermCache>(config_.term_cache);
+  }
+}
+
 Result<AnswerMessage> Source::EvaluateQuery(const Query& q) {
   return EvaluateQueryPhysical(q, storage_, config_.physical, &io_stats_,
                                term_cache_.get());

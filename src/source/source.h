@@ -82,6 +82,12 @@ class Source {
   /// to read concurrently with subsequent updates to this source.
   StorageMap SnapshotStorage() const { return storage_; }
 
+  /// Crash-restart support: re-installs a (catalog, storage) checkpoint
+  /// taken earlier from this source. The term cache restarts cold — its
+  /// entries described the pre-crash state and a cache miss is always
+  /// correct. IO stats are left alone (they describe the whole run).
+  void RestoreSnapshot(Catalog catalog, StorageMap storage);
+
   const Catalog& catalog() const { return catalog_; }
   const StorageMap& storage() const { return storage_; }
   const PhysicalConfig& config() const { return config_.physical; }

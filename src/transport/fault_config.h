@@ -48,8 +48,15 @@ struct FaultConfig {
   /// acks, timeout retransmission, receiver dedup/reorder buffering) on top
   /// of the faulty link, restoring exactly-once FIFO delivery.
   bool reliable = false;
-  /// Retransmission timeout, in transport ticks, for unacked frames.
+  /// Base retransmission timeout, in transport ticks, for unacked frames.
   int retransmit_timeout_ticks = 8;
+  /// Exponential backoff of the retransmission timeout: each timer expiry
+  /// that actually re-sent frames doubles the effective timeout, up to
+  /// `retransmit_backoff_cap` times the base; any ack progress resets it.
+  /// Bounds the re-send amplification on badly lossy links.
+  bool retransmit_backoff = true;
+  /// Maximum multiplier the backoff may reach (>= 1).
+  int retransmit_backoff_cap = 8;
 
   /// Rates in range, positive timeout, and — when the protocol is on — a
   /// drop rate that leaves retransmission a path to success.

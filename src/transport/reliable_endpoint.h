@@ -15,7 +15,8 @@ namespace wvm {
 
 /// Callbacks the protocol uses to surface its overhead to the cost
 /// accounting (Section 6's M/B metering lives above this layer and must see
-/// retransmissions and ack traffic separately from first-copy payload).
+/// retransmissions and ack traffic separately from first-copy payload) and
+/// to the recovery journals (which log frames by protocol seq number).
 template <typename T>
 struct TransportHooks {
   /// One frame retransmitted, with its payload byte size (0 if no sizer).
@@ -24,6 +25,15 @@ struct TransportHooks {
   std::function<void()> on_ack_frame;
   /// Payload byte size, used to charge retransmitted bytes.
   std::function<int64_t(const T&)> byte_size;
+  /// A fresh frame was assigned `seq` and is about to reach the wire. The
+  /// recovery subsystem appends it to the sender site's outbound journal
+  /// here — the write-ahead point for sends. Not invoked on retransmission
+  /// (same seq, already journaled).
+  std::function<void(uint64_t, const T&)> on_send;
+  /// Frame `seq` was released, in order, into the delivery queue. Invoked
+  /// BEFORE the cumulative ack covering it is emitted, so journaling here
+  /// upholds the recovery invariant "acked implies journaled".
+  std::function<void(uint64_t, const T&)> on_deliver;
 };
 
 /// Protocol counters, aggregated with the underlying link stats.
@@ -33,6 +43,7 @@ struct ProtocolStats {
   int64_t acks_sent = 0;
   int64_t duplicates_discarded = 0;  // receiver-side dedup hits
   int64_t reorder_buffered = 0;      // frames that arrived out of order
+  int64_t frames_lost_to_crash = 0;  // frames that reached a crashed site
 };
 
 /// Exactly-once, in-order delivery over a pair of faulty links (data
@@ -42,9 +53,14 @@ struct ProtocolStats {
 ///
 ///   * every user message gets a sequence number and is kept by the sender
 ///     until cumulatively acked;
-///   * a retransmission timer (in transport ticks) re-sends all unacked
-///     frames on expiry — retransmissions pass through the fault schedule
-///     again, so they too can be dropped or delayed;
+///   * a retransmission timer (in transport ticks) re-sends unacked frames
+///     on expiry — only frames at least one timeout older than their last
+///     transmission, so frames sent just before the timer fires are not
+///     spuriously re-sent. The timeout backs off exponentially (capped)
+///     while no ack progress arrives and resets once it does, bounding the
+///     re-send amplification on badly lossy links. Retransmissions pass
+///     through the fault schedule again, so they too can be dropped or
+///     delayed;
 ///   * the receiver discards duplicates, buffers out-of-order frames, and
 ///     releases user messages strictly in sequence order;
 ///   * every data arrival triggers one cumulative ack (acks ride their own
@@ -54,6 +70,14 @@ struct ProtocolStats {
 /// The state machine is pumped eagerly after every Send and every Tick, so
 /// from the outside the endpoint looks exactly like a Channel<T> whose
 /// messages may additionally need Tick() events (time) to surface.
+///
+/// The sender half and the receiver half live at DIFFERENT sites (the
+/// sender's site originates this direction's traffic), so for crash-restart
+/// simulation each half can crash and restart independently: a crash wipes
+/// that half's volatile state, and a restart either resumes bare (modeling
+/// a site with no recovery journal) or re-installs journal-recovered state
+/// and re-syncs — the restored unacked window is retransmitted at once, and
+/// the peer's dedup absorbs whatever had in fact already arrived.
 template <typename T>
 class ReliableEndpoint {
  public:
@@ -65,10 +89,14 @@ class ReliableEndpoint {
         hooks_(std::move(hooks)) {}
 
   void Send(T message) {
+    WVM_REQUIRE(!sender_down_, "Send() on a crashed sender");
     uint64_t seq = next_seq_++;
-    unacked_.emplace(seq, message);  // retained copy for retransmission
+    if (hooks_.on_send) {
+      hooks_.on_send(seq, message);  // write-ahead: journal before the wire
+    }
+    unacked_.emplace(seq, Unacked{message, now_});
     data_.Send(DataFrame{seq, std::move(message)});
-    ArmTimerIfNeeded();
+    RearmTimer();
     Pump();
   }
 
@@ -100,20 +128,134 @@ class ReliableEndpoint {
     ++now_;
     data_.AdvanceTick();
     ack_.AdvanceTick();
-    if (timer_armed_ && now_ >= timer_due_ && !unacked_.empty()) {
-      for (const auto& [seq, payload] : unacked_) {
-        int64_t bytes = hooks_.byte_size ? hooks_.byte_size(payload) : 0;
+    if (timer_armed_ && now_ >= timer_due_ && !unacked_.empty() &&
+        !sender_down_) {
+      // Re-send only frames that have gone a full (backed-off) timeout
+      // since their own last transmission; a frame sent on the preceding
+      // tick is younger than the timeout and keeps waiting for its ack.
+      const uint64_t timeout = CurrentTimeout();
+      bool retransmitted = false;
+      for (auto& [seq, frame] : unacked_) {
+        if (now_ - frame.last_send < timeout) {
+          continue;
+        }
+        frame.last_send = now_;
+        retransmitted = true;
+        int64_t bytes =
+            hooks_.byte_size ? hooks_.byte_size(frame.payload) : 0;
         ++stats_.retransmitted_frames;
         stats_.retransmitted_bytes += bytes;
         if (hooks_.on_retransmit) {
           hooks_.on_retransmit(bytes);
         }
-        data_.Send(DataFrame{seq, payload});
+        data_.Send(DataFrame{seq, frame.payload});
       }
-      timer_due_ = now_ + static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+      if (retransmitted && config_.retransmit_backoff &&
+          backoff_multiplier_ <
+              static_cast<uint64_t>(config_.retransmit_backoff_cap)) {
+        backoff_multiplier_ *= 2;
+      }
+      RearmTimer();
     }
     Pump();
   }
+
+  /// The effective retransmission timeout right now: the configured base,
+  /// scaled by the current (capped) backoff multiplier.
+  uint64_t CurrentTimeout() const {
+    uint64_t base = static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+    uint64_t capped = backoff_multiplier_;
+    uint64_t cap = static_cast<uint64_t>(config_.retransmit_backoff_cap);
+    if (capped > cap) {
+      capped = cap;
+    }
+    return base * capped;
+  }
+
+  // --- Crash-restart support (recovery subsystem) ---------------------------
+
+  /// The sending site crashed: its unacked window and timer state vanish.
+  /// While down, arriving acks are discarded (nobody is listening).
+  void CrashSender() {
+    sender_down_ = true;
+    unacked_.clear();
+    timer_armed_ = false;
+    backoff_multiplier_ = 1;
+  }
+
+  /// Bare restart (no recovery journal): the sender resumes with an empty
+  /// window — anything unacked at crash time that the wire subsequently
+  /// drops is lost for good. The seq counter itself survives (modeling the
+  /// small durable epoch a real implementation keeps so the peer's
+  /// numbering stays meaningful).
+  void RestartSender() { sender_down_ = false; }
+
+  /// Journal-recovered restart: re-installs the retained outbound suffix as
+  /// the unacked window and retransmits it immediately — the re-sync step.
+  /// The peer's dedup discards what it already released, and its first
+  /// cumulative ack prunes the conservative excess from the window.
+  void RestartSender(uint64_t next_seq, std::map<uint64_t, T> unacked) {
+    sender_down_ = false;
+    next_seq_ = next_seq;
+    unacked_.clear();
+    for (auto& [seq, payload] : unacked) {
+      int64_t bytes = hooks_.byte_size ? hooks_.byte_size(payload) : 0;
+      ++stats_.retransmitted_frames;
+      stats_.retransmitted_bytes += bytes;
+      if (hooks_.on_retransmit) {
+        hooks_.on_retransmit(bytes);
+      }
+      data_.Send(DataFrame{seq, payload});
+      unacked_.emplace(seq, Unacked{std::move(payload), now_});
+    }
+    backoff_multiplier_ = 1;
+    RearmTimer();
+    Pump();
+  }
+
+  /// The receiving site crashed: its reorder buffer and undelivered queue
+  /// vanish. While down, arriving data frames are discarded without an ack
+  /// (the peer's retransmission will repair them after restart).
+  void CrashReceiver() {
+    receiver_down_ = true;
+    reorder_buffer_.clear();
+    delivered_.clear();
+  }
+
+  /// Bare restart (no recovery journal): resumes with empty buffers at the
+  /// surviving next_expected_ watermark. Frames that were acked but not yet
+  /// consumed at crash time are gone — the lost-state anomaly.
+  void RestartReceiver() {
+    receiver_down_ = false;
+    Pump();
+  }
+
+  /// Journal-recovered restart: the delivery watermark and the
+  /// delivered-but-unconsumed tail come back from the inbound journal, and
+  /// an immediate ack tells the peer where delivery really stands.
+  void RestartReceiver(uint64_t next_expected, std::deque<T> delivered) {
+    receiver_down_ = false;
+    next_expected_ = next_expected;
+    reorder_buffer_.clear();
+    delivered_ = std::move(delivered);
+    ++stats_.acks_sent;
+    if (hooks_.on_ack_frame) {
+      hooks_.on_ack_frame();
+    }
+    ack_.Send(AckFrame{next_expected_});
+    Pump();
+  }
+
+  /// Next sequence number the sender will assign.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Every seq below this is cumulatively acked (= the smallest unacked
+  /// seq, or next_seq() when the window is empty). Outbound journal records
+  /// below this floor can never be needed again.
+  uint64_t acked_floor() const {
+    return unacked_.empty() ? next_seq_ : unacked_.begin()->first;
+  }
+  /// Next sequence number the receiver will release.
+  uint64_t next_expected() const { return next_expected_; }
 
   const ProtocolStats& stats() const { return stats_; }
   LinkStats link_stats() const {
@@ -130,12 +272,27 @@ class ReliableEndpoint {
   struct AckFrame {
     uint64_t cumulative;  // all seq < cumulative have been delivered
   };
+  struct Unacked {
+    T payload;
+    uint64_t last_send = 0;  // transport tick of the latest transmission
+  };
 
-  void ArmTimerIfNeeded() {
-    if (!timer_armed_ && !unacked_.empty()) {
-      timer_armed_ = true;
-      timer_due_ = now_ + static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+  /// Re-arms the retransmission timer from the oldest outstanding
+  /// transmission: due = min(last_send) + current timeout. Disarms when the
+  /// window is empty.
+  void RearmTimer() {
+    if (unacked_.empty() || sender_down_) {
+      timer_armed_ = false;
+      return;
     }
+    uint64_t oldest = unacked_.begin()->second.last_send;
+    for (const auto& [seq, frame] : unacked_) {
+      if (frame.last_send < oldest) {
+        oldest = frame.last_send;
+      }
+    }
+    timer_armed_ = true;
+    timer_due_ = oldest + CurrentTimeout();
   }
 
   /// Drains everything currently deliverable on both links: receiver-side
@@ -145,6 +302,10 @@ class ReliableEndpoint {
     bool received_data = false;
     while (data_.HasDeliverable()) {
       DataFrame f = data_.Receive();
+      if (receiver_down_) {
+        ++stats_.frames_lost_to_crash;  // nobody home: dropped, unacked
+        continue;
+      }
       received_data = true;
       if (f.seq < next_expected_) {
         ++stats_.duplicates_discarded;  // already released downstream
@@ -162,6 +323,10 @@ class ReliableEndpoint {
       for (auto it = reorder_buffer_.find(next_expected_);
            it != reorder_buffer_.end();
            it = reorder_buffer_.find(next_expected_)) {
+        if (hooks_.on_deliver) {
+          // Journal the release before the ack below covers it.
+          hooks_.on_deliver(next_expected_, it->second);
+        }
         delivered_.push_back(std::move(it->second));
         reorder_buffer_.erase(it);
         ++next_expected_;
@@ -178,12 +343,21 @@ class ReliableEndpoint {
     }
     while (ack_.HasDeliverable()) {
       AckFrame a = ack_.Receive();
+      if (sender_down_) {
+        continue;  // ack for a crashed sender: discarded
+      }
+      size_t before = unacked_.size();
       unacked_.erase(unacked_.begin(), unacked_.lower_bound(a.cumulative));
+      if (unacked_.size() != before) {
+        // Ack progress: the path works again, drop the backoff.
+        backoff_multiplier_ = 1;
+        RearmTimer();
+      }
     }
     if (unacked_.empty()) {
       timer_armed_ = false;
-    } else {
-      ArmTimerIfNeeded();
+    } else if (!timer_armed_) {
+      RearmTimer();
     }
   }
 
@@ -192,17 +366,20 @@ class ReliableEndpoint {
   FaultyLink<AckFrame> ack_;
   TransportHooks<T> hooks_;
 
-  // Sender state.
+  // Sender state (volatile at the sending site).
   uint64_t next_seq_ = 0;
-  std::map<uint64_t, T> unacked_;
+  std::map<uint64_t, Unacked> unacked_;
   bool timer_armed_ = false;
   uint64_t timer_due_ = 0;
+  uint64_t backoff_multiplier_ = 1;
+  bool sender_down_ = false;
   uint64_t now_ = 0;
 
-  // Receiver state.
+  // Receiver state (volatile at the receiving site).
   uint64_t next_expected_ = 0;
   std::map<uint64_t, T> reorder_buffer_;
   std::deque<T> delivered_;
+  bool receiver_down_ = false;
 
   ProtocolStats stats_;
 };

@@ -18,6 +18,10 @@ Status FaultConfig::Validate() const {
     return Status::InvalidArgument(
         "retransmit_timeout_ticks must be at least 1");
   }
+  if (retransmit_backoff_cap < 1) {
+    return Status::InvalidArgument(
+        "retransmit_backoff_cap must be at least 1");
+  }
   if (reliable && drop_rate >= 1.0) {
     // With every frame dropped, retransmission can never succeed and the
     // simulation would tick forever.
@@ -36,7 +40,8 @@ std::string FaultConfig::ToString() const {
                 ", reorder=", std::to_string(reorder_rate),
                 ", delay<=", std::to_string(max_delay_ticks),
                 ", seed=", std::to_string(seed),
-                reliable ? ", reliable" : ", raw", "}");
+                reliable ? ", reliable" : ", raw",
+                reliable && retransmit_backoff ? ", backoff" : "", "}");
 }
 
 namespace internal {

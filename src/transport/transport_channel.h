@@ -1,6 +1,8 @@
 #ifndef WVM_TRANSPORT_TRANSPORT_CHANNEL_H_
 #define WVM_TRANSPORT_TRANSPORT_CHANNEL_H_
 
+#include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -24,6 +26,7 @@ struct TransportStats {
     protocol.acks_sent += o.protocol.acks_sent;
     protocol.duplicates_discarded += o.protocol.duplicates_discarded;
     protocol.reorder_buffered += o.protocol.reorder_buffered;
+    protocol.frames_lost_to_crash += o.protocol.frames_lost_to_crash;
     return *this;
   }
 
@@ -144,6 +147,27 @@ class TransportChannel {
     }
   }
 
+  // --- Crash-restart forwarding (reliable mode only) ------------------------
+  // The sender half lives at the site that originates this direction's
+  // traffic, the receiver half at the other site; the recovery subsystem
+  // crashes/restarts the two halves of a direction independently.
+
+  void CrashSender() { Reliable().CrashSender(); }
+  void RestartSender() { Reliable().RestartSender(); }
+  void RestartSender(uint64_t next_seq, std::map<uint64_t, T> unacked) {
+    Reliable().RestartSender(next_seq, std::move(unacked));
+  }
+  void CrashReceiver() { Reliable().CrashReceiver(); }
+  void RestartReceiver() { Reliable().RestartReceiver(); }
+  void RestartReceiver(uint64_t next_expected, std::deque<T> delivered) {
+    Reliable().RestartReceiver(next_expected, std::move(delivered));
+  }
+
+  uint64_t next_seq() const { return Reliable().next_seq(); }
+  uint64_t acked_floor() const { return Reliable().acked_floor(); }
+  uint64_t next_expected() const { return Reliable().next_expected(); }
+  uint64_t CurrentTimeout() const { return Reliable().CurrentTimeout(); }
+
   TransportStats stats() const {
     TransportStats s;
     if (reliable_.has_value()) {
@@ -156,6 +180,17 @@ class TransportChannel {
   }
 
  private:
+  ReliableEndpoint<T>& Reliable() {
+    WVM_REQUIRE(reliable_.has_value(),
+                "crash-restart requires the reliable transport mode");
+    return *reliable_;
+  }
+  const ReliableEndpoint<T>& Reliable() const {
+    WVM_REQUIRE(reliable_.has_value(),
+                "crash-restart requires the reliable transport mode");
+    return *reliable_;
+  }
+
   Channel<T> plain_;
   std::optional<FaultyLink<T>> raw_;
   std::optional<ReliableEndpoint<T>> reliable_;

@@ -67,6 +67,17 @@ TEST(MsMechanicsTest, EnabledActionsTrackChannels) {
   EXPECT_EQ((*sim)->fragment_tuples(), 1);  // r2 has one tuple
 }
 
+TEST(MsMechanicsTest, BestCasePriorityIsWarehouseThenAnswerThenUpdate) {
+  // RunBestCase's ordering is a semantic contract (drain warehouse work,
+  // then answers, then admit the next update), not an artifact of the
+  // MsAction::Kind declaration order — pin it explicitly so reordering the
+  // enum can never silently invert the paper's best-case regime.
+  EXPECT_GT(MsActionPriority(MsAction::Kind::kWarehouseStep),
+            MsActionPriority(MsAction::Kind::kSourceAnswer));
+  EXPECT_GT(MsActionPriority(MsAction::Kind::kSourceAnswer),
+            MsActionPriority(MsAction::Kind::kSourceUpdate));
+}
+
 TEST(MsMechanicsTest, PerSourceFifoHoldsNotificationBeforeFragment) {
   // A source that executed an update BEFORE answering a fragment must
   // deliver the notification first on its channel.

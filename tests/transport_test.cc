@@ -253,6 +253,138 @@ TEST(ReliableEndpointTest, SurfacesOverheadThroughHooks) {
 }
 
 // ---------------------------------------------------------------------------
+// Regression (spurious retransmission): the timer used to re-send EVERY
+// unacked frame on expiry, including frames sent on the immediately
+// preceding tick. With per-frame send-time tracking, a frame younger than
+// the timeout is never retransmitted — so on a loss-free link whose round
+// trip (data delay + ack delay <= 2 * max_delay_ticks) is shorter than the
+// timeout, a steady send stream must produce ZERO retransmissions.
+
+TEST(ReliableEndpointTest, NoRetransmitOfFramesYoungerThanTimeout) {
+  FaultConfig f = RawFaults(0.0, 0.0, 0.0, /*delay=*/6, 31);
+  f.reliable = true;
+  f.retransmit_timeout_ticks = 16;  // > worst-case RTT of 12 ticks
+  ASSERT_TRUE(f.Validate().ok());
+  ReliableEndpoint<int> ep(f, /*salt=*/1, {});
+  int sent = 0;
+  int guard = 0;
+  // One fresh frame per tick keeps the unacked window non-empty across
+  // many timer deadlines — exactly the schedule that used to provoke
+  // spurious re-sends of just-transmitted frames.
+  while (sent < 60 || ep.HasTimedWork() || ep.HasMessage()) {
+    if (sent < 60) {
+      ep.Send(sent++);
+    }
+    while (ep.HasMessage()) {
+      ep.Receive();
+    }
+    ep.Tick();
+    ASSERT_LT(++guard, 100000);
+  }
+  EXPECT_EQ(ep.stats().retransmitted_frames, 0)
+      << "frames younger than retransmit_timeout_ticks were re-sent";
+}
+
+// ---------------------------------------------------------------------------
+// Regression (retransmit storm): a fixed timeout re-sends the full window
+// every 8 ticks forever at high drop rates. Exponential backoff must grow
+// the effective timeout while no ack progress arrives, cap it, and reset it
+// once an ack lands.
+
+TEST(ReliableEndpointTest, BackoffGrowsCapsAndResetsOnAckProgress) {
+  FaultConfig f = RawFaults(0.0, 0.0, 0.0, /*delay=*/0, 17);
+  f.reliable = true;
+  f.retransmit_timeout_ticks = 4;
+  f.retransmit_backoff = true;
+  f.retransmit_backoff_cap = 8;
+  ReliableEndpoint<int> ep(f, 1, {});
+  // Silence the receiver so no ack can ever arrive: every expiry re-sends
+  // and doubles the timeout, deterministically.
+  ep.CrashReceiver();
+  ep.Send(42);
+  EXPECT_EQ(ep.CurrentTimeout(), 4u);
+  auto run_until_retransmit = [&] {
+    int64_t before = ep.stats().retransmitted_frames;
+    int guard = 0;
+    while (ep.stats().retransmitted_frames == before) {
+      ep.Tick();
+      ASSERT_LT(++guard, 1000);
+    }
+  };
+  run_until_retransmit();
+  EXPECT_EQ(ep.CurrentTimeout(), 8u);
+  run_until_retransmit();
+  EXPECT_EQ(ep.CurrentTimeout(), 16u);
+  run_until_retransmit();
+  EXPECT_EQ(ep.CurrentTimeout(), 32u);  // 8x cap
+  run_until_retransmit();
+  EXPECT_EQ(ep.CurrentTimeout(), 32u) << "backoff exceeded its cap";
+  // Ack progress resets the backoff to the base timeout.
+  ep.RestartReceiver();
+  int guard = 0;
+  while (ep.HasTimedWork() && ep.CurrentTimeout() != 4u) {
+    ep.Tick();
+    ASSERT_LT(++guard, 1000);
+  }
+  while (ep.HasMessage()) {
+    EXPECT_EQ(ep.Receive(), 42);
+  }
+  EXPECT_EQ(ep.CurrentTimeout(), 4u);
+}
+
+TEST(ReliableEndpointTest, BackoffCutsAmplificationWhenAcksStop) {
+  // The amplification scenario: a window of frames outstanding and NO ack
+  // progress (dead or partitioned peer). A fixed timeout re-sends the whole
+  // window every interval; exponential backoff spaces the bursts out
+  // geometrically, so the same blackout produces far fewer duplicate
+  // frames — and once the peer returns, delivery is still exactly-once.
+  auto run = [](bool backoff) {
+    FaultConfig f = RawFaults(0.0, 0.0, 0.0, /*delay=*/0, 7);
+    f.reliable = true;
+    f.retransmit_timeout_ticks = 4;
+    f.retransmit_backoff = backoff;
+    f.retransmit_backoff_cap = 8;
+    ReliableEndpoint<int> ep(f, 2, {});
+    ep.CrashReceiver();  // blackout FIRST: with no wire delay an up
+                         // receiver would absorb the sends instantly
+    for (int i = 0; i < 20; ++i) {
+      ep.Send(i);
+    }
+    for (int t = 0; t < 200; ++t) {
+      ep.Tick();
+    }
+    const int64_t during_blackout = ep.stats().retransmitted_frames;
+    ep.RestartReceiver();
+    std::vector<int> got;
+    int guard = 0;
+    while (ep.HasTimedWork() || ep.HasMessage()) {
+      while (ep.HasMessage()) {
+        got.push_back(ep.Receive());
+      }
+      ep.Tick();
+      EXPECT_LT(++guard, 1000000);
+      if (guard >= 1000000) {
+        break;
+      }
+    }
+    while (ep.HasMessage()) {
+      got.push_back(ep.Receive());
+    }
+    std::vector<int> expect(20);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(got, expect) << "backoff=" << backoff;
+    return during_blackout;
+  };
+  int64_t with_backoff = run(true);
+  int64_t without_backoff = run(false);
+  EXPECT_GT(with_backoff, 0);
+  // 200 ticks / fixed timeout 4 ~= 50 window re-sends; backed-off bursts at
+  // 4+8+16+32+(cap)32... ~= 8. Leave slack, just require a big gap.
+  EXPECT_LT(with_backoff * 3, without_backoff)
+      << "backoff should shrink the re-send amplification";
+}
+
+// ---------------------------------------------------------------------------
 // TransportChannel: the three modes behind one Channel-shaped surface.
 
 TEST(TransportChannelTest, DisabledConfigIsPlainPassthrough) {

@@ -4,6 +4,24 @@
 
 namespace wvm {
 
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this != &other) {
+    relations_ = other.relations_;
+    std::lock_guard<std::mutex> lock(index_mu_);
+    key_indexes_.clear();
+  }
+  return *this;
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) {
+    relations_ = std::move(other.relations_);
+    std::lock_guard<std::mutex> lock(index_mu_);
+    key_indexes_.clear();
+  }
+  return *this;
+}
+
 Status Catalog::Define(const BaseRelationDef& def) {
   return DefineWithData(def, Relation(def.schema));
 }
@@ -39,6 +57,7 @@ Result<Relation*> Catalog::GetMutable(const std::string& name) {
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation '", name, "' not defined"));
   }
+  DropIndexesFor(name);
   return &it->second;
 }
 
@@ -60,6 +79,40 @@ Status Catalog::Apply(const Update& u) {
   }
   r->Insert(u.tuple, u.sign());
   return Status::OK();
+}
+
+Result<std::shared_ptr<const RelationKeyIndex>> Catalog::KeyIndexFor(
+    const std::string& name, const std::vector<size_t>& cols) const {
+  auto rel = relations_.find(name);
+  if (rel == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not defined"));
+  }
+  for (size_t c : cols) {
+    if (c >= rel->second.schema().size()) {
+      return Status::InvalidArgument(
+          StrCat("key column ", c, " out of range for relation '", name,
+                 "' of arity ", rel->second.schema().size()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto key = std::make_pair(name, cols);
+  auto it = key_indexes_.find(key);
+  if (it != key_indexes_.end()) {
+    return it->second;
+  }
+  auto index = std::make_shared<const RelationKeyIndex>(
+      rel->second.shared_entries(), cols);
+  key_indexes_.emplace(std::move(key), index);
+  return index;
+}
+
+void Catalog::DropIndexesFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = key_indexes_.lower_bound(
+      std::make_pair(name, std::vector<size_t>()));
+  while (it != key_indexes_.end() && it->first.first == name) {
+    it = key_indexes_.erase(it);
+  }
 }
 
 std::vector<std::string> Catalog::Names() const {

@@ -2,11 +2,15 @@
 #define WVM_QUERY_CATALOG_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "query/view_def.h"
+#include "relational/key_index.h"
 #include "relational/relation.h"
 #include "relational/update.h"
 
@@ -19,6 +23,16 @@ namespace wvm {
 /// execute valid updates.
 class Catalog {
  public:
+  Catalog() = default;
+
+  // Copies and moves transfer the relations but never the key-index cache
+  // (or its mutex): indexes are derived data, rebuilt on demand in the
+  // destination. This is also what keeps Clone() cheap to reason about.
+  Catalog(const Catalog& other) : relations_(other.relations_) {}
+  Catalog& operator=(const Catalog& other);
+  Catalog(Catalog&& other) noexcept : relations_(std::move(other.relations_)) {}
+  Catalog& operator=(Catalog&& other) noexcept;
+
   /// Registers an empty relation. Fails if the name already exists.
   Status Define(const BaseRelationDef& def);
 
@@ -41,8 +55,28 @@ class Catalog {
   /// Deep snapshot of the catalog (used to record source states).
   Catalog Clone() const { return *this; }
 
+  /// The cached key index over relation `name` keyed on `cols`, building it
+  /// on first use. Safe to call concurrently on a const catalog (parallel
+  /// per-term evaluation); any mutation of the relation (Apply/GetMutable)
+  /// drops its indexes first, so a returned index always reflects the
+  /// relation state at call time. Callers may keep the shared_ptr across
+  /// later mutations: the index pins its snapshot of the tuple storage.
+  Result<std::shared_ptr<const RelationKeyIndex>> KeyIndexFor(
+      const std::string& name, const std::vector<size_t>& cols) const;
+
  private:
+  // Drops every cached index over `name`. Must happen BEFORE the relation
+  // is handed out for mutation — releasing the index's storage handle first
+  // is what lets an unshared relation mutate in place instead of cloning
+  // its map on every update.
+  void DropIndexesFor(const std::string& name);
+
   std::map<std::string, Relation> relations_;
+
+  mutable std::mutex index_mu_;
+  mutable std::map<std::pair<std::string, std::vector<size_t>>,
+                   std::shared_ptr<const RelationKeyIndex>>
+      key_indexes_;
 };
 
 }  // namespace wvm

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "query/compiled_plan.h"
 #include "relational/algebra.h"
 #include "relational/join_index.h"
 
@@ -220,6 +221,30 @@ Result<Relation> JoinMaterializedOperands(
 }
 
 Result<Relation> EvaluateTerm(const Term& term, const Catalog& catalog) {
+  if (CompiledPlansEnabled()) {
+    return EvaluateTermCompiled(term, catalog);
+  }
+  return EvaluateTermInterpreted(term, catalog);
+}
+
+Result<Relation> EvaluateTermCompiled(const Term& term,
+                                      const Catalog& catalog) {
+  const ViewDefinition& view = *term.view();
+  if (view.num_relations() > 64) {
+    return EvaluateTermInterpreted(term, catalog);
+  }
+  Result<std::shared_ptr<const CompiledDeltaPlan>> plan =
+      view.CompiledPlanFor(TermBoundMask(term));
+  if (!plan.ok()) {
+    // A shape that fails to compile is not an evaluation error; the
+    // interpreted path answers it (or reports the real problem).
+    return EvaluateTermInterpreted(term, catalog);
+  }
+  return ExecuteCompiledPlan(**plan, term, catalog);
+}
+
+Result<Relation> EvaluateTermInterpreted(const Term& term,
+                                         const Catalog& catalog) {
   const ViewDefinition& view = *term.view();
 
   std::vector<Relation> operands;

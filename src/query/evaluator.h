@@ -35,8 +35,22 @@ Schema OperandSliceSchema(const ViewDefinition& view, size_t i);
 Result<Relation> JoinMaterializedOperands(const ViewDefinition& view,
                                           const std::vector<Relation>& operands);
 
-/// Evaluates one term, including its coefficient.
+/// Evaluates one term, including its coefficient. Dispatches to the
+/// compiled fast path when CompiledPlansEnabled() (the default), else to
+/// the interpreted planner; both produce identical relations.
 Result<Relation> EvaluateTerm(const Term& term, const Catalog& catalog);
+
+/// The interpreted evaluator: materializes every operand and plans the
+/// hash joins per call. Kept as the differential oracle for the compiled
+/// path (and selected by EvaluateTerm when compiled plans are disabled).
+Result<Relation> EvaluateTermInterpreted(const Term& term,
+                                         const Catalog& catalog);
+
+/// The compiled fast path: executes the view's cached CompiledDeltaPlan
+/// for the term's bound mask over catalog-cached key indexes, falling back
+/// to the interpreted evaluator if the shape cannot be compiled (more than
+/// 64 relations, unbindable residual).
+Result<Relation> EvaluateTermCompiled(const Term& term, const Catalog& catalog);
 
 /// Reference implementation: full cross product, then select, then project.
 /// Exponential in relation count; for tests only.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/strings.h"
+#include "query/compiled_plan.h"
 
 namespace wvm {
 
@@ -140,7 +142,42 @@ Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
   WVM_ASSIGN_OR_RETURN(view->residual_bound_cond_,
                        view->residual_cond_.Bind(view->combined_schema_));
 
+  // Pre-warm the plan cache: the full-view plan (initial materialization)
+  // and one single-substitution plan per relation (the shapes every delta
+  // query produced by Term::Substitute takes). Best-effort — a shape that
+  // fails to compile just falls back to the interpreted evaluator at run
+  // time, which reports the error if it is real.
+  (void)view->CompiledPlanFor(0);
+  for (size_t i = 0; i < view->relations_.size() && i < 64; ++i) {
+    (void)view->CompiledPlanFor(uint64_t{1} << i);
+  }
+
   return std::shared_ptr<const ViewDefinition>(std::move(view));
+}
+
+Result<std::shared_ptr<const CompiledDeltaPlan>> ViewDefinition::CompiledPlanFor(
+    uint64_t bound_mask) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = plan_cache_.find(bound_mask);
+  if (it != plan_cache_.end()) {
+    return it->second;
+  }
+  WVM_ASSIGN_OR_RETURN(CompiledDeltaPlan plan,
+                       CompiledDeltaPlan::Compile(*this, bound_mask));
+  auto shared = std::make_shared<const CompiledDeltaPlan>(std::move(plan));
+  plan_cache_.emplace(bound_mask, shared);
+  return shared;
+}
+
+void ViewDefinition::InvalidateCompiledPlans() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plan_cache_.clear();
+  ++plan_epoch_;
+}
+
+uint64_t ViewDefinition::compiled_plan_epoch() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plan_epoch_;
 }
 
 Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::NaturalJoin(

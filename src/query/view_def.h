@@ -1,7 +1,10 @@
 #ifndef WVM_QUERY_VIEW_DEF_H_
 #define WVM_QUERY_VIEW_DEF_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,8 @@
 #include "relational/update.h"
 
 namespace wvm {
+
+class CompiledDeltaPlan;
 
 /// Name and schema of one base relation participating in a view.
 struct BaseRelationDef {
@@ -96,6 +101,24 @@ class ViewDefinition {
   };
   const std::vector<EquiEdge>& equi_edges() const { return equi_edges_; }
 
+  /// The compiled delta plan for this view and `bound_mask` (bit i set =
+  /// operand i substituted by a tuple; see TermBoundMask). Plans are
+  /// compiled on first use and cached on the view — one plan per delta
+  /// shape, shared by every update that hits the same relation set.
+  /// Create() pre-warms the cache with the full-view plan and every
+  /// single-substitution plan, so steady-state maintenance never compiles.
+  Result<std::shared_ptr<const CompiledDeltaPlan>> CompiledPlanFor(
+      uint64_t bound_mask) const;
+
+  /// Drops all cached plans and bumps the epoch. Must be called if anything
+  /// a plan depends on changes shape (in this codebase views are immutable,
+  /// so this exists for catalogs that re-register a view under new schemas).
+  void InvalidateCompiledPlans() const;
+
+  /// Incremented by InvalidateCompiledPlans; lets tests and catalogs detect
+  /// staleness of plans obtained earlier.
+  uint64_t compiled_plan_epoch() const;
+
   /// Renders e.g. "V = pi_{W}(sigma_{true}(r1 x r2))".
   std::string ToString() const;
 
@@ -114,6 +137,14 @@ class ViewDefinition {
   BoundPredicate residual_bound_cond_;
   bool has_all_base_keys_ = false;
   std::vector<EquiEdge> equi_edges_;
+
+  // Compiled-plan cache, keyed by bound mask. Mutable: plans are derived
+  // data over the immutable definition, filled lazily under plan_mu_ (terms
+  // for one view evaluate concurrently in the parallel per-term path).
+  mutable std::mutex plan_mu_;
+  mutable std::map<uint64_t, std::shared_ptr<const CompiledDeltaPlan>>
+      plan_cache_;
+  mutable uint64_t plan_epoch_ = 0;
 };
 
 using ViewDefinitionPtr = std::shared_ptr<const ViewDefinition>;

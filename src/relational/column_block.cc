@@ -1,0 +1,46 @@
+#include "relational/column_block.h"
+
+#include <utility>
+
+namespace wvm {
+
+ColumnBlock ColumnBlock::FromRelation(const Relation& r) {
+  ColumnBlock out(r.schema().size());
+  out.Reserve(r.NumDistinct());
+  for (const auto& [t, c] : r.entries()) {
+    for (size_t col = 0; col < out.cols_.size(); ++col) {
+      out.cols_[col].push_back(t.value(col));
+    }
+    out.counts_.push_back(c);
+  }
+  return out;
+}
+
+ColumnBlock ColumnBlock::FromSignedTuple(const Tuple& t, int sign) {
+  ColumnBlock out(t.size());
+  for (size_t col = 0; col < t.size(); ++col) {
+    out.cols_[col].push_back(t.value(col));
+  }
+  out.counts_.push_back(sign);
+  return out;
+}
+
+Relation ColumnBlock::Gather(Schema schema, const std::vector<size_t>& out_cols,
+                             int64_t scale) const {
+  Relation out(std::move(schema));
+  if (empty() || scale == 0) {
+    return out;
+  }
+  Relation::CountsMap& m = out.MutableEntries();
+  m.reserve(rows());
+  std::vector<Value> row(out_cols.size());
+  for (size_t i = 0; i < rows(); ++i) {
+    for (size_t c = 0; c < out_cols.size(); ++c) {
+      row[c] = cols_[out_cols[c]][i];
+    }
+    m.AddCount(Tuple(row), counts_[i] * scale);
+  }
+  return out;
+}
+
+}  // namespace wvm

@@ -35,8 +35,33 @@ class FlatCountsMap {
 
   FlatCountsMap() = default;
 
+  /// Copies re-place the source's entries into a table sized for its live
+  /// entry count (plus `reserve_hint` expected additional inserts) instead
+  /// of duplicating the source's arrays verbatim. This is the Relation
+  /// copy-on-write clone path: sizing from the source map means a clone of
+  /// a once-large, now-sparse map shrinks, and a clone about to absorb an
+  /// Add of known size never rehashes mid-copy.
+  FlatCountsMap(const FlatCountsMap& other) : FlatCountsMap(other, 0) {}
+  FlatCountsMap(const FlatCountsMap& other, size_t reserve_hint) {
+    Rehash(CapacityFor(other.size_ + reserve_hint));
+    for (const auto& [t, c] : other) {
+      EmplaceUnique(t, c);
+    }
+  }
+  FlatCountsMap& operator=(const FlatCountsMap& other) {
+    if (this != &other) {
+      FlatCountsMap copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  FlatCountsMap(FlatCountsMap&&) noexcept = default;
+  FlatCountsMap& operator=(FlatCountsMap&&) noexcept = default;
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Slot-array capacity (for sizing diagnostics and tests).
+  size_t capacity() const { return hashes_.size(); }
 
   class const_iterator {
    public:
@@ -162,7 +187,12 @@ class FlatCountsMap {
   // belongs. Grows first so a following insert keeps the load bound.
   size_t Locate(const Tuple& t) {
     if ((size_ + 1) * 4 > hashes_.size() * 3) {
-      Rehash(hashes_.empty() ? kMinCapacity : hashes_.size() * 2);
+      // Quadruple while small so a from-scratch fill (the common pattern:
+      // a fresh relation absorbing a few thousand inserts) pays half the
+      // rehash passes; double past 4K slots to bound over-allocation.
+      Rehash(hashes_.empty()
+                 ? kMinCapacity
+                 : hashes_.size() * (hashes_.size() < 4096 ? 4 : 2));
     }
     const size_t h = NormHash(t.Hash());
     const size_t mask = hashes_.size() - 1;

@@ -81,6 +81,12 @@ using internal_predicate::NodeKind;
 using internal_predicate::PredNode;
 
 bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  return EvalCompareOp(lhs, op, rhs);
+}
+
+}  // namespace
+
+bool EvalCompareOp(const Value& lhs, CompareOp op, const Value& rhs) {
   switch (op) {
     case CompareOp::kEq:
       return lhs == rhs;
@@ -97,6 +103,8 @@ bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
   }
   return false;
 }
+
+namespace {
 
 // Resolves `op` against `schema`; fills the bound operand slots.
 Status BindOperand(const Operand& op, const Schema& schema, bool* is_attr,

@@ -16,11 +16,14 @@ const Relation::CountsMap& Relation::EmptyCounts() {
   return *empty;
 }
 
-Relation::CountsMap& Relation::Mutable() {
+Relation::CountsMap& Relation::Mutable(size_t reserve_hint) {
   if (!counts_) {
     counts_ = std::make_shared<CountsMap>();
+    if (reserve_hint > 0) {
+      counts_->reserve(reserve_hint);
+    }
   } else if (counts_.use_count() > 1) {
-    counts_ = std::make_shared<CountsMap>(*counts_);
+    counts_ = std::make_shared<CountsMap>(*counts_, reserve_hint);
   }
   return *counts_;
 }
@@ -110,8 +113,9 @@ void Relation::Add(const Relation& other) {
     counts_ = other.counts_;
     return;
   }
+  CountsMap& m = Mutable(other.entries().size());
   for (const auto& [t, c] : other.entries()) {
-    Insert(t, c);
+    m.AddCount(t, c);
   }
 }
 
@@ -149,9 +153,12 @@ void Relation::Clear() { counts_.reset(); }
 
 Relation Relation::Positive() const {
   Relation out(schema_);
-  for (const auto& [t, c] : entries()) {
-    if (c > 0) {
-      out.Mutable().EmplaceUnique(t, c);
+  if (!IsEmpty()) {
+    CountsMap& m = out.Mutable(entries().size());
+    for (const auto& [t, c] : entries()) {
+      if (c > 0) {
+        m.EmplaceUnique(t, c);
+      }
     }
   }
   return out;
@@ -159,9 +166,12 @@ Relation Relation::Positive() const {
 
 Relation Relation::NegativePart() const {
   Relation out(schema_);
-  for (const auto& [t, c] : entries()) {
-    if (c < 0) {
-      out.Mutable().EmplaceUnique(t, -c);
+  if (!IsEmpty()) {
+    CountsMap& m = out.Mutable(entries().size());
+    for (const auto& [t, c] : entries()) {
+      if (c < 0) {
+        m.EmplaceUnique(t, -c);
+      }
     }
   }
   return out;

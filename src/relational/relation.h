@@ -128,6 +128,12 @@ class Relation {
     return counts_ ? *counts_ : EmptyCounts();
   }
 
+  /// The shared tuple storage itself (null when empty). Key indexes built
+  /// over a relation hold this handle so their slot pointers stay valid even
+  /// if the relation is later mutated (mutation under sharing clones, so the
+  /// indexed snapshot is never written through).
+  std::shared_ptr<const CountsMap> shared_entries() const { return counts_; }
+
   /// The mutable counts map, un-sharing storage first if needed. Join
   /// kernels hoist this out of their emit loops so the copy-on-write check
   /// is paid once per output relation, not once per output row; most callers
@@ -150,8 +156,10 @@ class Relation {
  private:
   static const CountsMap& EmptyCounts();
 
-  /// The mutable map, cloned first if storage is currently shared.
-  CountsMap& Mutable();
+  /// The mutable map, cloned first if storage is currently shared. A
+  /// non-zero `reserve_hint` pre-sizes the clone for that many additional
+  /// inserts so bulk absorption (Add) never rehashes mid-copy.
+  CountsMap& Mutable(size_t reserve_hint = 0);
 
   Schema schema_;
   std::shared_ptr<CountsMap> counts_;  // null = empty

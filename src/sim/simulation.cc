@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "query/compiled_plan.h"
 #include "query/evaluator.h"
 
 namespace wvm {
@@ -24,6 +25,10 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   if (options.recovery.checkpoint_every < 0) {
     return Status::InvalidArgument("checkpoint_every must be >= 0");
   }
+  // The toggle is process-global (the evaluator has no per-call context);
+  // simulations select their path at creation, which also covers every
+  // evaluation the ctor itself performs (initial view materialization).
+  SetCompiledPlansEnabled(options.compiled_plans);
   auto sim = std::unique_ptr<Simulation>(new Simulation(view, options));
   {
     // Install the transport mode on both directions before any traffic.

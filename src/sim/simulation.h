@@ -84,6 +84,11 @@ struct SimulationOptions {
   /// Crash-restart recovery: journaling, checkpoints, and the kCrash /
   /// kRestart actions' recovered-restart path.
   RecoveryOptions recovery;
+  /// Evaluate delta queries through precompiled plans and cached key
+  /// indexes (the data-plane fast path). On by default; turning it off
+  /// selects the interpreted evaluator, which must produce bit-identical
+  /// counters and view states (differential-tested).
+  bool compiled_plans = true;
 };
 
 /// Owns one complete single-source / single-warehouse system: the source

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "query/compiled_plan.h"
 #include "query/evaluator.h"
 #include "relational/algebra.h"
 #include "source/term_cache.h"
@@ -47,6 +48,23 @@ Result<const StoredRelation*> FindStored(const StorageMap& storage,
     return Status::NotFound(StrCat("relation '", name, "' not stored"));
   }
   return &it->second;
+}
+
+// In-memory join of fully materialized operands. All page I/O was already
+// charged while the operands were read, so swapping the join machinery
+// cannot change a single counter: with compiled plans on, the view's cached
+// mask-0 plan runs through the columnar executor; otherwise (or if the view
+// does not compile) the interpreted per-call planner runs.
+Result<Relation> JoinOperandsPlanned(const ViewDefinition& view,
+                                     const std::vector<Relation>& operands) {
+  if (CompiledPlansEnabled() && view.num_relations() <= 64) {
+    Result<std::shared_ptr<const CompiledDeltaPlan>> plan =
+        view.CompiledPlanFor(0);
+    if (plan.ok()) {
+      return ExecuteCompiledPlanOnOperands(**plan, operands);
+    }
+  }
+  return JoinMaterializedOperands(view, operands);
 }
 
 // All equi-edges connecting current frontier columns to columns of
@@ -173,7 +191,7 @@ Result<Relation> EvaluateIndexed(const Term& term, const StorageMap& storage,
       operands.push_back(std::move(op));
     }
     WVM_ASSIGN_OR_RETURN(Relation projected,
-                         JoinMaterializedOperands(view, operands));
+                         JoinOperandsPlanned(view, operands));
     return projected.Scaled(term.coefficient());
   }
 
@@ -331,7 +349,7 @@ Result<Relation> EvaluateNestedLoop(const Term& term,
   const size_t m = unbound.size();
 
   if (m == 0) {
-    WVM_ASSIGN_OR_RETURN(result, JoinMaterializedOperands(view, operands));
+    WVM_ASSIGN_OR_RETURN(result, JoinOperandsPlanned(view, operands));
   } else {
     io->LogPlan(StrCat("blocked nested loop over ", m,
                        " unbound relations"));
@@ -352,7 +370,7 @@ Result<Relation> EvaluateNestedLoop(const Term& term,
     std::function<Status(size_t)> loop = [&](size_t u) -> Status {
       if (u == m) {
         WVM_ASSIGN_OR_RETURN(Relation part,
-                             JoinMaterializedOperands(view, operands));
+                             JoinOperandsPlanned(view, operands));
         result.Add(part);
         return Status::OK();
       }

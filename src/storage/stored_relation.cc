@@ -16,14 +16,31 @@ const std::vector<Tuple>& StoredRelation::EmptyRows() {
   return kEmpty;
 }
 
+const std::vector<Value>& StoredRelation::EmptyColumn() {
+  static const std::vector<Value> kEmpty;
+  return kEmpty;
+}
+
 StoredRelation::Rep& StoredRelation::Mutable() {
   if (!rep_) {
     rep_ = std::make_shared<Rep>();
+    rep_->columns.resize(def_.schema.size());
     rep_->col_counts.resize(def_.schema.size());
   } else if (rep_.use_count() > 1) {
     rep_ = std::make_shared<Rep>(*rep_);
   }
   return *rep_;
+}
+
+void StoredRelation::RebuildColumns(Rep& rep) {
+  for (size_t c = 0; c < rep.columns.size(); ++c) {
+    std::vector<Value>& col = rep.columns[c];
+    col.clear();
+    col.reserve(rep.rows.size());
+    for (const Tuple& t : rep.rows) {
+      col.push_back(t.value(c));
+    }
+  }
 }
 
 void StoredRelation::CountTuple(Rep& rep, const Tuple& t, int64_t delta) {
@@ -61,11 +78,12 @@ Status StoredRelation::AddIndex(const std::string& attr, bool clustered) {
     }
     clustered_column_ = column;
     if (rep_ != nullptr && !rep_->rows.empty()) {
-      std::vector<Tuple>& rows = Mutable().rows;
-      std::stable_sort(rows.begin(), rows.end(),
+      Rep& rep = Mutable();
+      std::stable_sort(rep.rows.begin(), rep.rows.end(),
                        [column](const Tuple& a, const Tuple& b) {
                          return a.value(column) < b.value(column);
                        });
+      RebuildColumns(rep);
     }
   }
   indexes_.push_back(IndexDef{attr, clustered});
@@ -80,15 +98,23 @@ Status StoredRelation::Insert(const Tuple& tuple) {
   }
   Rep& rep = Mutable();
   if (clustered_column_.has_value()) {
+    // The clustered insert position comes from the contiguous key column,
+    // not the row vector: upper_bound over values touches a fraction of the
+    // memory the tuple-hopping search did.
     const size_t column = *clustered_column_;
-    auto pos = std::upper_bound(
-        rep.rows.begin(), rep.rows.end(), tuple,
-        [column](const Tuple& a, const Tuple& b) {
-          return a.value(column) < b.value(column);
-        });
-    rep.rows.insert(pos, tuple);
+    const std::vector<Value>& keys = rep.columns[column];
+    const size_t offset = static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), tuple.value(column)) -
+        keys.begin());
+    rep.rows.insert(rep.rows.begin() + offset, tuple);
+    for (size_t c = 0; c < rep.columns.size(); ++c) {
+      rep.columns[c].insert(rep.columns[c].begin() + offset, tuple.value(c));
+    }
   } else {
     rep.rows.push_back(tuple);
+    for (size_t c = 0; c < rep.columns.size(); ++c) {
+      rep.columns[c].push_back(tuple.value(c));
+    }
   }
   CountTuple(rep, tuple, +1);
   return Status::OK();
@@ -110,6 +136,9 @@ Status StoredRelation::Delete(const Tuple& tuple) {
   const size_t offset = static_cast<size_t>(it - rep_->rows.begin());
   Rep& rep = Mutable();
   rep.rows.erase(rep.rows.begin() + offset);
+  for (std::vector<Value>& col : rep.columns) {
+    col.erase(col.begin() + offset);
+  }
   CountTuple(rep, tuple, -1);
   return Status::OK();
 }
@@ -135,6 +164,7 @@ Status StoredRelation::BulkLoad(std::vector<Tuple> tuples) {
                        return a.value(column) < b.value(column);
                      });
   }
+  RebuildColumns(rep);
   return Status::OK();
 }
 
@@ -164,7 +194,12 @@ double StoredRelation::EstimatedMatchesPerKey(const std::string& attr) const {
   }
   const size_t distinct = rep_->col_counts[*column].size();
   if (distinct == 0) {
-    return 0.0;
+    // Rows exist but the column has no recorded distinct values (a
+    // statistics gap, not an empty relation). Returning the row count — the
+    // worst-case fan-out — keeps the estimate monotone in relation size, so
+    // the planner degrades to pessimism instead of treating the column as
+    // infinitely selective.
+    return static_cast<double>(rep_->rows.size());
   }
   return static_cast<double>(rep_->rows.size()) /
          static_cast<double>(distinct);
@@ -209,11 +244,14 @@ Result<std::vector<Tuple>> StoredRelation::IndexProbe(const std::string& attr,
   WVM_ASSIGN_OR_RETURN(size_t column, AttrIndex(attr));
   ++io->index_probes;
 
+  // Scan the contiguous key column for matches; rows are only touched to
+  // materialize actual hits.
   const std::vector<Tuple>& all = rows();
+  const std::vector<Value>& keys = ColumnValues(column);
   std::vector<Tuple> matches;
   std::set<int> blocks_touched;
-  for (size_t i = 0; i < all.size(); ++i) {
-    if (all[i].value(column) == value) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == value) {
       matches.push_back(all[i]);
       blocks_touched.insert(static_cast<int>(i) / tuples_per_block_);
     }

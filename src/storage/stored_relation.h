@@ -108,19 +108,33 @@ class StoredRelation {
     return rep_ ? rep_->rows : EmptyRows();
   }
 
+  /// Column `c`'s values in physical row order — the column-major mirror of
+  /// rows(), kept in lockstep by every mutation. Probe scans walk one
+  /// contiguous value vector instead of hopping tuple to tuple.
+  const std::vector<Value>& ColumnValues(size_t c) const {
+    return rep_ ? rep_->columns[c] : EmptyColumn();
+  }
+
  private:
   /// Per-value row counts for one column; `size()` is the distinct count
   /// the join-factor statistic needs.
   using ColumnCounts = std::unordered_map<Value, int64_t, ValueHash>;
 
-  /// The shared (copy-on-write) storage: the physical rows plus the
-  /// per-column statistics that must stay in lockstep with them.
+  /// The shared (copy-on-write) storage: the physical rows, their
+  /// column-major mirror, and the per-column statistics — all of which must
+  /// stay in lockstep under every mutation.
   struct Rep {
     std::vector<Tuple> rows;
-    std::vector<ColumnCounts> col_counts;  // one per schema column
+    std::vector<std::vector<Value>> columns;  // columns[c][i] = rows[i][c]
+    std::vector<ColumnCounts> col_counts;     // one per schema column
   };
 
   static const std::vector<Tuple>& EmptyRows();
+  static const std::vector<Value>& EmptyColumn();
+
+  /// Re-derives the column mirror from rows — used after operations that
+  /// reorder rows wholesale (clustered sorts).
+  static void RebuildColumns(Rep& rep);
 
   Result<size_t> AttrIndex(const std::string& attr) const;
 

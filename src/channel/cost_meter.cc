@@ -23,6 +23,9 @@ std::string CostMeter::ToString() const {
                   " retransmits (", retransmitted_bytes_, " bytes), ",
                   ack_messages_, " acks");
   }
+  if (heartbeat_messages_ > 0) {
+    out += StrCat(", replication: ", heartbeat_messages_, " heartbeats");
+  }
   return out;
 }
 

@@ -44,6 +44,11 @@ class CostMeter {
   }
   /// One cumulative-ack frame sent by a reliable receiver.
   void RecordAckMessage() { ++ack_messages_; }
+  /// One heartbeat frame emitted by a warehouse replica (src/replication).
+  /// Liveness traffic is control-plane overhead of the replicated tier, not
+  /// maintenance communication, so — like retransmissions and acks — it is
+  /// counted beside the paper's M/B, never inside them.
+  void RecordHeartbeat() { ++heartbeat_messages_; }
 
   /// M of Section 6.1.
   int64_t messages() const { return query_messages_ + answer_messages_; }
@@ -58,6 +63,7 @@ class CostMeter {
   int64_t retransmitted_messages() const { return retransmitted_messages_; }
   int64_t retransmitted_bytes() const { return retransmitted_bytes_; }
   int64_t ack_messages() const { return ack_messages_; }
+  int64_t heartbeat_messages() const { return heartbeat_messages_; }
 
   void Reset() { *this = CostMeter(bytes_per_tuple_); }
 
@@ -76,6 +82,7 @@ class CostMeter {
   int64_t retransmitted_messages_ = 0;
   int64_t retransmitted_bytes_ = 0;
   int64_t ack_messages_ = 0;
+  int64_t heartbeat_messages_ = 0;
 };
 
 }  // namespace wvm

@@ -104,6 +104,64 @@ ConsistencyReport CheckConsistency(const StateLog& log) {
   return report;
 }
 
+ReplicaConvergenceReport CheckReplicaConvergence(
+    uint64_t head_lsn, const Relation& lead_view,
+    const std::vector<ReplicaProbe>& replicas) {
+  ReplicaConvergenceReport report;
+  report.all_at_head = true;
+  report.views_identical_at_lsn = true;
+  report.match_lead = true;
+
+  for (const ReplicaProbe& r : replicas) {
+    if (r.in_group && r.applied_lsn != head_lsn) {
+      report.all_at_head = false;
+      if (report.violation.empty()) {
+        report.violation =
+            StrCat(r.name, " applied ", r.applied_lsn, " of ", head_lsn,
+                   " sequenced messages");
+      }
+    }
+  }
+  // Same applied prefix must mean the same view — replica against replica
+  // (deterministic replay), and replica against the lead at the head.
+  for (size_t i = 0; i < replicas.size(); ++i) {
+    for (size_t j = i + 1; j < replicas.size(); ++j) {
+      if (replicas[i].applied_lsn == replicas[j].applied_lsn &&
+          !(*replicas[i].view == *replicas[j].view)) {
+        report.views_identical_at_lsn = false;
+        if (report.violation.empty()) {
+          report.violation = StrCat(
+              replicas[i].name, " and ", replicas[j].name, " diverge at LSN ",
+              replicas[i].applied_lsn, ": ", replicas[i].view->ToString(),
+              " vs ", replicas[j].view->ToString());
+        }
+      }
+    }
+    if (replicas[i].in_group && replicas[i].applied_lsn == head_lsn &&
+        !(*replicas[i].view == lead_view)) {
+      report.match_lead = false;
+      if (report.violation.empty()) {
+        report.violation =
+            StrCat(replicas[i].name, " at head LSN ", head_lsn,
+                   " differs from the lead view: ",
+                   replicas[i].view->ToString(), " vs ",
+                   lead_view.ToString());
+      }
+    }
+  }
+  report.converged = report.all_at_head && report.views_identical_at_lsn &&
+                     report.match_lead;
+  return report;
+}
+
+std::string ReplicaConvergenceReport::ToString() const {
+  return StrCat("at_head=", all_at_head ? "yes" : "no",
+                " identical=", views_identical_at_lsn ? "yes" : "no",
+                " match_lead=", match_lead ? "yes" : "no",
+                " converged=", converged ? "yes" : "no",
+                violation.empty() ? "" : StrCat(" [", violation, "]"));
+}
+
 std::string ConsistencyReport::ToString() const {
   return StrCat("convergent=", convergent ? "yes" : "no",
                 " weak=", weakly_consistent ? "yes" : "no",

@@ -34,6 +34,45 @@ struct ConsistencyReport {
 /// Analyzes one finished execution.
 ConsistencyReport CheckConsistency(const StateLog& log);
 
+/// One warehouse replica of the replicated tier (src/replication), as the
+/// convergence check sees it: how far into the sequenced update broadcast
+/// it has applied, what its materialized view currently is, and whether it
+/// is a group member (evicted replicas are reported but not required to be
+/// at the head).
+struct ReplicaProbe {
+  std::string name;
+  /// Number of sequenced messages applied (= the next LSN to apply).
+  uint64_t applied_lsn = 0;
+  /// Borrowed; must outlive the check.
+  const Relation* view = nullptr;
+  /// In the broadcast group (not evicted, not catching up).
+  bool in_group = true;
+};
+
+/// Verdicts for the replica group at one instant. Deterministic replay is
+/// the whole correctness story of the replicated tier: every replica runs
+/// the same maintainer over the same total-order stream, so two replicas at
+/// the same applied LSN must hold byte-identical views, and every in-group
+/// replica at the head must match the lead maintainer exactly.
+struct ReplicaConvergenceReport {
+  /// Every in-group replica has applied the full broadcast prefix.
+  bool all_at_head = false;
+  /// All replicas that share an applied LSN hold identical views (checked
+  /// across every pair, whatever their LSN).
+  bool views_identical_at_lsn = false;
+  /// Every in-group replica at the head matches the lead's view.
+  bool match_lead = false;
+  /// All of the above.
+  bool converged = false;
+
+  std::string violation;
+  std::string ToString() const;
+};
+
+ReplicaConvergenceReport CheckReplicaConvergence(
+    uint64_t head_lsn, const Relation& lead_view,
+    const std::vector<ReplicaProbe>& replicas);
+
 }  // namespace wvm
 
 #endif  // WVM_CONSISTENCY_CHECKER_H_

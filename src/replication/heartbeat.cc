@@ -1,0 +1,106 @@
+#include "replication/heartbeat.h"
+
+#include "common/strings.h"
+
+namespace wvm {
+
+const char* ReplicaHealthName(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kLive:
+      return "live";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kEvicted:
+      return "evicted";
+  }
+  return "?";
+}
+
+Status HeartbeatConfig::Validate() const {
+  if (suspect_after < 1) {
+    return Status::InvalidArgument("suspect_after must be >= 1");
+  }
+  if (evict_after < suspect_after) {
+    return Status::InvalidArgument("evict_after must be >= suspect_after");
+  }
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    return Status::InvalidArgument("loss_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+HeartbeatMonitor::HeartbeatMonitor(int num_replicas,
+                                   const HeartbeatConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      missed_(num_replicas, 0),
+      health_(num_replicas, ReplicaHealth::kLive) {}
+
+std::vector<int> HeartbeatMonitor::Round(const std::vector<BeatInput>& inputs,
+                                         CostMeter* meter) {
+  WVM_REQUIRE(inputs.size() == missed_.size(),
+              "heartbeat round input size mismatch");
+  ++rounds_;
+  std::vector<int> newly_evicted;
+  for (size_t r = 0; r < inputs.size(); ++r) {
+    if (inputs[r] == BeatInput::kUnmonitored ||
+        health_[r] == ReplicaHealth::kEvicted) {
+      continue;
+    }
+    bool heard = false;
+    if (inputs[r] == BeatInput::kBeat) {
+      if (meter != nullptr) {
+        meter->RecordHeartbeat();
+      }
+      if (rng_.NextDouble() < config_.loss_rate) {
+        ++beats_lost_;
+      } else {
+        heard = true;
+      }
+    }
+    if (heard) {
+      ++beats_heard_;
+      missed_[r] = 0;
+      health_[r] = ReplicaHealth::kLive;
+      continue;
+    }
+    ++missed_[r];
+    if (missed_[r] >= config_.evict_after) {
+      health_[r] = ReplicaHealth::kEvicted;
+      ++evictions_;
+      newly_evicted.push_back(static_cast<int>(r));
+    } else if (missed_[r] >= config_.suspect_after) {
+      if (health_[r] != ReplicaHealth::kSuspect) {
+        ++suspicions_;
+      }
+      health_[r] = ReplicaHealth::kSuspect;
+    }
+  }
+  return newly_evicted;
+}
+
+void HeartbeatMonitor::Restore(int r) {
+  missed_[r] = 0;
+  health_[r] = ReplicaHealth::kLive;
+}
+
+void HeartbeatMonitor::Suspend(int r) {
+  missed_[r] = 0;
+  health_[r] = ReplicaHealth::kEvicted;
+}
+
+std::string HeartbeatMonitor::ToString() const {
+  std::string out = StrCat("heartbeat: ", rounds_, " rounds, ", beats_heard_,
+                           " heard, ", beats_lost_, " lost, ", suspicions_,
+                           " suspicions, ", evictions_, " evictions [");
+  for (size_t r = 0; r < health_.size(); ++r) {
+    if (r > 0) {
+      out += ", ";
+    }
+    out += StrCat("r", r, "=", ReplicaHealthName(health_[r]), "/", missed_[r]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace wvm

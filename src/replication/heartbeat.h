@@ -1,0 +1,97 @@
+#ifndef WVM_REPLICATION_HEARTBEAT_H_
+#define WVM_REPLICATION_HEARTBEAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/cost_meter.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace wvm {
+
+/// Failure-detector verdict for one replica.
+enum class ReplicaHealth {
+  kLive,     // beating on schedule
+  kSuspect,  // missed >= suspect_after consecutive beats; reads avoid it
+  kEvicted,  // missed >= evict_after beats; removed from the broadcast
+};
+
+const char* ReplicaHealthName(ReplicaHealth health);
+
+/// What the monitor hears from one replica in one round.
+enum class BeatInput {
+  kBeat,         // the replica emitted a heartbeat (it may still be lost)
+  kSilent,       // the replica is crashed: no beat was emitted
+  kUnmonitored,  // catching up or already evicted: outside the detector
+};
+
+struct HeartbeatConfig {
+  /// Consecutive missed beats before a replica is suspected (>= 1).
+  int suspect_after = 2;
+  /// Consecutive missed beats before a replica is evicted
+  /// (>= suspect_after).
+  int evict_after = 4;
+  /// Probability that an emitted beat is lost in transit (the monitor's
+  /// own lossy control channel; < 0 inherits the data-plane drop rate).
+  double loss_rate = 0.0;
+  /// Seed of the deterministic beat-loss stream.
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Bounded-miss failure detection over the replica group. Deliberately
+/// simple — a per-replica counter of consecutive missed beats with two
+/// thresholds — because the interesting behavior lives in what it gets
+/// wrong: a lossy control channel makes it suspect (and with enough bad
+/// luck evict) perfectly healthy replicas, and the rejoin protocol has to
+/// make that flapping harmless.
+///
+/// Heartbeat traffic is metered through CostMeter::RecordHeartbeat — beside
+/// the paper's M/B, never inside them.
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(int num_replicas, const HeartbeatConfig& config);
+
+  /// Runs one heartbeat round. `inputs[r]` is what replica r did this
+  /// round; emitted beats are metered on `meter` (if provided) and then
+  /// subjected to the loss stream. Returns the replicas evicted by THIS
+  /// round, in index order.
+  std::vector<int> Round(const std::vector<BeatInput>& inputs,
+                         CostMeter* meter);
+
+  ReplicaHealth health(int r) const { return health_[r]; }
+  int missed(int r) const { return missed_[r]; }
+
+  /// Rejoin complete: the replica is monitored again with a clean slate.
+  void Restore(int r);
+
+  /// Takes a replica out of the detector without counting an eviction
+  /// (used when a rejoin begins on a replica that was never evicted).
+  void Suspend(int r);
+
+  int64_t beats_heard() const { return beats_heard_; }
+  int64_t beats_lost() const { return beats_lost_; }
+  int64_t suspicions() const { return suspicions_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t rounds() const { return rounds_; }
+
+  std::string ToString() const;
+
+ private:
+  HeartbeatConfig config_;
+  Random rng_;
+  std::vector<int> missed_;
+  std::vector<ReplicaHealth> health_;
+  int64_t beats_heard_ = 0;
+  int64_t beats_lost_ = 0;
+  int64_t suspicions_ = 0;
+  int64_t evictions_ = 0;
+  int64_t rounds_ = 0;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_REPLICATION_HEARTBEAT_H_

@@ -1,0 +1,93 @@
+#include "replication/read_router.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+const char* ReadPolicyName(ReadPolicy policy) {
+  switch (policy) {
+    case ReadPolicy::kReadYourWrites:
+      return "read-your-writes";
+    case ReadPolicy::kBoundedStaleness:
+      return "bounded-staleness";
+  }
+  return "?";
+}
+
+std::string ReadStats::ToString() const {
+  double avg = served > 0 ? static_cast<double>(total_lag) /
+                                static_cast<double>(served)
+                          : 0.0;
+  return StrCat("reads: ", served, " served, ", refused, " refused, max lag ",
+                max_lag, ", avg lag ", avg);
+}
+
+ReadRouter::ReadRouter(int num_replicas, int num_clients, ReadPolicy policy,
+                       uint64_t staleness_bound)
+    : policy_(policy),
+      staleness_bound_(staleness_bound),
+      floor_(num_clients, 0),
+      pending_high_(num_clients, 0),
+      pending_writes_(num_clients, 0) {
+  (void)num_replicas;
+}
+
+void ReadRouter::NotePendingWrite(int client) { ++pending_writes_[client]; }
+
+void ReadRouter::NoteWrite(int client, uint64_t lsn) {
+  pending_high_[client] = std::max(pending_high_[client], lsn + 1);
+}
+
+void ReadRouter::SettleWrites(uint64_t head_lsn) {
+  for (size_t c = 0; c < floor_.size(); ++c) {
+    // The settle precondition (all notifications consumed, maintainer
+    // quiescent) means every stamped write below head is in the view, and
+    // no executed write is still unstamped.
+    uint64_t settled = std::min(pending_high_[c], head_lsn);
+    floor_[c] = std::max(floor_[c], settled);
+    pending_writes_[c] = 0;
+  }
+}
+
+ReadResult ReadRouter::Route(int client, uint64_t head_lsn,
+                             const std::vector<ServingProbe>& probes) {
+  ReadResult result;
+  result.head_lsn = head_lsn;
+  uint64_t min_lsn = 0;
+  if (policy_ == ReadPolicy::kReadYourWrites) {
+    if (has_unsettled_writes(client)) {
+      ++stats_.refused;
+      result.refusal = StrCat("client ", client, " has ",
+                              pending_writes_[client], " unsettled write(s)");
+      return result;
+    }
+    min_lsn = floor_[client];
+  } else {
+    min_lsn = head_lsn > staleness_bound_ ? head_lsn - staleness_bound_ : 0;
+  }
+  const int n = static_cast<int>(probes.size());
+  for (int i = 0; i < n; ++i) {
+    const int r = (next_ + i) % n;
+    if (!probes[r].serving || probes[r].applied_lsn < min_lsn) {
+      continue;
+    }
+    next_ = (r + 1) % n;
+    result.served = true;
+    result.replica = r;
+    result.applied_lsn = probes[r].applied_lsn;
+    result.lag = head_lsn - probes[r].applied_lsn;
+    ++stats_.served;
+    stats_.max_lag = std::max(stats_.max_lag, result.lag);
+    stats_.total_lag += static_cast<int64_t>(result.lag);
+    return result;
+  }
+  ++stats_.refused;
+  result.refusal =
+      StrCat("no serving replica at LSN >= ", min_lsn, " (policy ",
+             ReadPolicyName(policy_), ", head ", head_lsn, ")");
+  return result;
+}
+
+}  // namespace wvm

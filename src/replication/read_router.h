@@ -1,0 +1,110 @@
+#ifndef WVM_REPLICATION_READ_ROUTER_H_
+#define WVM_REPLICATION_READ_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wvm {
+
+/// Consistency contract a routed read is allowed to demand.
+enum class ReadPolicy {
+  /// The serving replica must have applied every write the reading client
+  /// has settled (replica applied LSN >= the client's settle floor).
+  kReadYourWrites,
+  /// The serving replica may lag the head by at most `staleness_bound`
+  /// LSNs, regardless of who wrote what.
+  kBoundedStaleness,
+};
+
+const char* ReadPolicyName(ReadPolicy policy);
+
+/// What the router knows about one replica when routing a read.
+struct ServingProbe {
+  uint64_t applied_lsn = 0;
+  /// In group, up, and not currently suspected — allowed to serve at all.
+  bool serving = false;
+};
+
+/// Outcome of one routed read.
+struct ReadResult {
+  bool served = false;
+  int replica = -1;           // which replica served (-1 if refused)
+  uint64_t applied_lsn = 0;   // its applied LSN at serve time
+  uint64_t head_lsn = 0;      // the sequencer head at serve time
+  uint64_t lag = 0;           // head_lsn - applied_lsn
+  std::string refusal;        // why the read was refused (if !served)
+};
+
+struct ReadStats {
+  int64_t served = 0;
+  int64_t refused = 0;
+  uint64_t max_lag = 0;
+  int64_t total_lag = 0;  // summed over served reads
+
+  std::string ToString() const;
+};
+
+/// Routes client reads to replicas under a staleness policy. The router is
+/// the piece that makes N replicas LOOK like one warehouse: it refuses to
+/// serve a read from any replica whose applied prefix would violate the
+/// policy, and round-robins among the eligible rest so load spreads.
+///
+/// Read-your-writes runs on settle floors, not raw write LSNs: an ECA
+/// maintainer installs an update's view effect when the compensating
+/// query's ANSWER arrives, not when the update itself is consumed. A
+/// client's write therefore has three phases — executed at the source
+/// (NotePendingWrite: no LSN yet), consumed by the lead and stamped
+/// (NoteWrite), and settled (SettleWrites: the lead went quiescent with
+/// every notification consumed, so every stamped write's effect is in the
+/// view, and any replica reaching the same LSN shows it). Until its writes
+/// settle, a RYW client's reads are refused outright — no replica (not
+/// even one at the head) is guaranteed to show the write yet.
+class ReadRouter {
+ public:
+  ReadRouter(int num_replicas, int num_clients, ReadPolicy policy,
+             uint64_t staleness_bound);
+
+  ReadPolicy policy() const { return policy_; }
+
+  /// Client `client` executed a source update; its LSN is unknown until
+  /// the lead consumes (and the sequencer stamps) the notification.
+  void NotePendingWrite(int client);
+
+  /// The notification of `client`'s update was stamped `lsn`.
+  void NoteWrite(int client, uint64_t lsn);
+
+  /// The lead is quiescent with every executed notification consumed and
+  /// `head_lsn` messages stamped: every pending write's effect is now in
+  /// the view, so each client's RYW floor advances to cover its writes.
+  void SettleWrites(uint64_t head_lsn);
+
+  /// Routes one read for `client`. `probes[r]` describes replica r.
+  ReadResult Route(int client, uint64_t head_lsn,
+                   const std::vector<ServingProbe>& probes);
+
+  uint64_t ryw_floor(int client) const { return floor_[client]; }
+  bool has_unsettled_writes(int client) const {
+    return pending_writes_[client] > 0;
+  }
+
+  const ReadStats& stats() const { return stats_; }
+
+ private:
+  ReadPolicy policy_;
+  uint64_t staleness_bound_;
+  /// floor_[c]: replica must have applied_lsn >= this to serve client c
+  /// under RYW. pending_high_[c]: one past c's highest stamped-but-
+  /// unsettled write. pending_writes_[c]: executed-but-unsettled count.
+  std::vector<uint64_t> floor_;
+  std::vector<uint64_t> pending_high_;
+  std::vector<int> pending_writes_;
+  int next_ = 0;  // round-robin cursor over replicas
+  ReadStats stats_;
+};
+
+}  // namespace wvm
+
+#endif  // WVM_REPLICATION_READ_ROUTER_H_

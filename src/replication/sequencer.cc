@@ -1,0 +1,83 @@
+#include "replication/sequencer.h"
+
+namespace wvm {
+
+Result<int> Sequencer::AddEndpoint(const FaultConfig& config, uint64_t salt,
+                                   TransportHooks<SourceMessage> hooks) {
+  if (!config.enabled || !config.reliable) {
+    return Status::InvalidArgument(
+        "replica endpoints require the reliable transport mode");
+  }
+  if (next_lsn_ != 0) {
+    return Status::FailedPrecondition(
+        "endpoints must be added before the first broadcast");
+  }
+  Endpoint ep;
+  ep.channel = std::make_unique<TransportChannel<SourceMessage>>();
+  WVM_RETURN_IF_ERROR(ep.channel->Configure(config, salt, std::move(hooks)));
+  endpoints_.push_back(std::move(ep));
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+Status Sequencer::Broadcast(const SourceMessage& m) {
+  // History append precedes the wire — the write-ahead discipline of
+  // src/recovery: once a replica acks LSN l, the history can reproduce l.
+  WVM_RETURN_IF_ERROR(history_.Append(next_lsn_, m));
+  for (Endpoint& ep : endpoints_) {
+    if (ep.attached) {
+      ep.channel->Send(m);
+    }
+  }
+  ++next_lsn_;
+  return Status::OK();
+}
+
+void Sequencer::Detach(int r) {
+  Endpoint& ep = endpoints_[r];
+  if (!ep.attached) {
+    return;
+  }
+  ep.attached = false;
+  // Dropping the sender half's unacked window and timer stops the endpoint
+  // from retransmitting into the void; the history journal is the durable
+  // copy a rejoin will read instead.
+  ep.channel->CrashSender();
+}
+
+void Sequencer::Reattach(int r) {
+  Endpoint& ep = endpoints_[r];
+  WVM_REQUIRE(!ep.attached, "Reattach() of an attached endpoint");
+  // Catch-up has delivered everything below head out of the history, so
+  // both protocol halves restart there: per-channel seq numbers stay equal
+  // to global LSNs.
+  ep.channel->RestartSender(next_lsn_, {});
+  ep.channel->RestartReceiver(next_lsn_, {});
+  ep.attached = true;
+}
+
+bool Sequencer::HasTimedWork() const {
+  for (const Endpoint& ep : endpoints_) {
+    if (ep.attached && ep.channel->HasTimedWork()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Sequencer::Tick() {
+  for (Endpoint& ep : endpoints_) {
+    if (ep.attached) {
+      ep.channel->Tick();
+    }
+  }
+}
+
+TransportStats Sequencer::stats() const {
+  TransportStats s;
+  for (const Endpoint& ep : endpoints_) {
+    s += ep.channel->stats();
+  }
+  return s;
+}
+
+}  // namespace wvm

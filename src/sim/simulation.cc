@@ -264,6 +264,9 @@ Status Simulation::StepWarehouse() {
   }
   ++event_seq_;
   SourceMessage m = to_warehouse_.Receive();
+  if (message_tap_) {
+    message_tap_(m);
+  }
   if (options_.record_trace) {
     const bool is_answer = std::holds_alternative<AnswerMessage>(m);
     trace_.Add(is_answer ? TraceEvent::Kind::kWarehouseAnswer

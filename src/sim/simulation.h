@@ -159,6 +159,17 @@ class Simulation {
   /// Performs `action`; kNone is an error.
   Status Step(SimAction action);
 
+  /// Installs an observer invoked for every source message the warehouse
+  /// consumes, in consumption order, immediately before the maintainer
+  /// processes it. The replicated tier (src/replication) uses this as the
+  /// sequencing point: the lead warehouse's consumption order IS the total
+  /// order its Sequencer stamps and broadcasts. Not invoked during journal
+  /// replay after a crash (those consumptions were observed before the
+  /// crash; re-observing them would double-broadcast).
+  void SetConsumedMessageTap(std::function<void(const SourceMessage&)> tap) {
+    message_tap_ = std::move(tap);
+  }
+
   /// Drains every enabled action FIFO-fashion with the given priority
   /// order helper; used by RunPolicy and the policies header.
   const Catalog& source_catalog() const { return source_->catalog(); }
@@ -230,6 +241,7 @@ class Simulation {
   bool warehouse_up_ = true;
   bool source_up_ = true;
   bool replaying_ = false;  // suppresses state-log records during replay
+  std::function<void(const SourceMessage&)> message_tap_;
 };
 
 }  // namespace wvm

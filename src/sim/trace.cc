@@ -20,6 +20,14 @@ const char* TraceEvent::KindName(Kind kind) {
       return "CRASH";
     case Kind::kRestart:
       return "RESTART";
+    case Kind::kHeartbeat:
+      return "HBEAT";
+    case Kind::kEviction:
+      return "EVICT";
+    case Kind::kRejoin:
+      return "REJOIN";
+    case Kind::kRead:
+      return "READ ";
   }
   return "?";
 }

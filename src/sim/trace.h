@@ -18,6 +18,10 @@ struct TraceEvent {
     kTransportTick,    // transport time advances (fault injection only)
     kCrash,            // a site crashes, losing its volatile state
     kRestart,          // a crashed site comes back (recovered or bare)
+    kHeartbeat,        // one heartbeat round of the replicated tier
+    kEviction,         // the heartbeat monitor evicts a replica
+    kRejoin,           // a replica rejoins via journal-replay catch-up
+    kRead,             // a client read routed to (or refused by) a replica
   };
 
   Kind kind;

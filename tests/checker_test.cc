@@ -117,5 +117,85 @@ TEST(CheckerTest, ReportToStringListsAllLevels) {
   EXPECT_NE(s.find("complete=yes"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Replica-group convergence (the replicated tier's strong-consistency
+// probe): all in-group replicas at the head, equal applied prefix => equal
+// view, and in-group-at-head => equal to the lead.
+
+TEST(CheckerTest, ReplicaConvergenceAcceptsIdenticalGroup) {
+  Relation lead = Rel({1, 2});
+  Relation a = Rel({1, 2});
+  Relation b = Rel({1, 2});
+  ReplicaConvergenceReport r = CheckReplicaConvergence(
+      5, lead,
+      {{"replica-0", 5, &a, true}, {"replica-1", 5, &b, true}});
+  EXPECT_TRUE(r.all_at_head);
+  EXPECT_TRUE(r.views_identical_at_lsn);
+  EXPECT_TRUE(r.match_lead);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.violation.empty());
+}
+
+TEST(CheckerTest, ReplicaConvergenceFlagsLaggingReplica) {
+  Relation lead = Rel({1});
+  Relation a = Rel({1});
+  Relation b = Rel({});
+  ReplicaConvergenceReport r = CheckReplicaConvergence(
+      4, lead, {{"replica-0", 4, &a, true}, {"replica-1", 2, &b, true}});
+  EXPECT_FALSE(r.all_at_head);
+  EXPECT_FALSE(r.converged);
+  // Different applied prefixes are ALLOWED to differ in content.
+  EXPECT_TRUE(r.views_identical_at_lsn);
+  EXPECT_NE(r.violation.find("replica-1"), std::string::npos);
+}
+
+TEST(CheckerTest, ReplicaConvergenceFlagsDivergenceAtEqualLsn) {
+  Relation lead = Rel({1});
+  Relation a = Rel({1});
+  Relation b = Rel({2});  // same LSN, different contents: determinism broke
+  ReplicaConvergenceReport r = CheckReplicaConvergence(
+      3, lead, {{"replica-0", 3, &a, true}, {"replica-1", 3, &b, true}});
+  EXPECT_FALSE(r.views_identical_at_lsn);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(CheckerTest, ReplicaConvergenceFlagsMismatchWithLead) {
+  Relation lead = Rel({1, 2});
+  Relation a = Rel({1});
+  ReplicaConvergenceReport r =
+      CheckReplicaConvergence(3, lead, {{"replica-0", 3, &a, true}});
+  EXPECT_TRUE(r.all_at_head);
+  EXPECT_FALSE(r.match_lead);
+  EXPECT_FALSE(r.converged);
+  EXPECT_NE(r.violation.find("differs from the lead"), std::string::npos);
+}
+
+TEST(CheckerTest, ReplicaConvergenceIgnoresOutOfGroupLagButNotDivergence) {
+  Relation lead = Rel({1});
+  Relation a = Rel({1});
+  Relation b = Rel({});   // catching up at LSN 1: lag is fine
+  Relation c = Rel({7});  // also claims LSN 3 but differs: NOT fine
+  ReplicaConvergenceReport lagging = CheckReplicaConvergence(
+      3, lead, {{"replica-0", 3, &a, true}, {"replica-1", 1, &b, false}});
+  EXPECT_TRUE(lagging.all_at_head);  // out-of-group replicas don't count
+  EXPECT_TRUE(lagging.converged);
+  ReplicaConvergenceReport divergent = CheckReplicaConvergence(
+      3, lead, {{"replica-0", 3, &a, true}, {"replica-1", 3, &c, false}});
+  // Equal applied prefix must mean equal view even for an out-of-group
+  // replica — determinism doesn't care about membership.
+  EXPECT_FALSE(divergent.views_identical_at_lsn);
+  EXPECT_FALSE(divergent.converged);
+}
+
+TEST(CheckerTest, ReplicaConvergenceReportToString) {
+  Relation lead = Rel({1});
+  Relation a = Rel({1});
+  ReplicaConvergenceReport r =
+      CheckReplicaConvergence(2, lead, {{"replica-0", 2, &a, true}});
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("at_head=yes"), std::string::npos);
+  EXPECT_NE(s.find("converged=yes"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wvm

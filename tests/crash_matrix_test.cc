@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "replication/replicated_simulation.h"
 #include "test_util.h"
 #include "workload/generator.h"
 
@@ -402,6 +403,97 @@ TEST(CrashRecoveryTest, RecoveryWithoutCrashesIsObservablyIdentical) {
   // above is not vacuous).
   EXPECT_GT(with->warehouse_log().inbound.end_lsn(), 0u);
   EXPECT_GT(with->source_log().inbound.end_lsn(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Replicated tier: crash a replica in the MIDDLE of its journal-replay
+// catch-up. The rejoin must restart from the checkpoint + journal without
+// losing or double-applying records, the replica must never serve a read
+// while its view is partially replayed, and the group must end strongly
+// convergent.
+
+TEST(CrashRecoveryTest, ReplicaCrashMidCatchUpRejoinsStronglyConsistent) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Random rng(seed);
+    Result<Workload> w = MakeExample6Workload({30, 3}, &rng);
+    ASSERT_TRUE(w.ok()) << w.status();
+    Result<std::vector<Update>> script = MakeRoundRobinInserts(*w, 10, &rng);
+    ASSERT_TRUE(script.ok()) << script.status();
+
+    SimulationOptions sim_options;
+    sim_options.fault = ReliableTransport(seed, /*faulty=*/true);
+    ReplicationOptions rep;
+    rep.num_replicas = 3;
+    rep.heartbeat_rounds = 30;
+    rep.heartbeat_loss_rate = 0.0;
+    rep.checkpoint_every = 4;
+    rep.catch_up_batch = 1;  // smallest steps: the widest crash window
+    Result<std::unique_ptr<ReplicatedSimulation>> made =
+        ReplicatedSimulation::Create(w->initial, w->view, Algorithm::kEca,
+                                     sim_options, rep);
+    ASSERT_TRUE(made.ok()) << made.status();
+    ReplicatedSimulation* sim = made->get();
+    sim->SetUpdateScript(*script);
+
+    // No replica may serve a read unless it is up and in the group.
+    sim->SetReadObserver([&](int, const ReadResult& result,
+                             const Replica* replica) {
+      if (!result.served) {
+        return;
+      }
+      EXPECT_TRUE(replica->up());
+      EXPECT_EQ(replica->membership(), ReplicaMembership::kInGroup)
+          << "a catching-up replica served a partially-replayed view";
+    });
+
+    RandomReplicatedPolicy policy(seed);
+    const int victim = 1;
+    int actions = 0;
+    enum { kBeforeFirstCrash, kCatchingUp, kDone } phase = kBeforeFirstCrash;
+    for (int guard = 0;; ++guard) {
+      ASSERT_LT(guard, 2000000) << "seed " << seed << " failed to quiesce";
+      if (phase == kBeforeFirstCrash && actions >= 12) {
+        // First crash, mid-run: lose volatile state while traffic flies.
+        ASSERT_TRUE(sim->CrashReplica(victim).ok());
+        ASSERT_TRUE(sim->RejoinReplica(victim).ok());
+        // Advance the head so catch-up has a real gap to close, then take
+        // a FEW catch-up steps — deliberately not all of them.
+        while (sim->replica(victim).applied_lsn() + 2 >=
+                   sim->sequencer().head_lsn() &&
+               sim->CanLeadStep()) {
+          ASSERT_TRUE(sim->StepLeadStep().ok());
+        }
+        if (sim->CanCatchUp(victim)) {
+          ASSERT_TRUE(sim->StepCatchUp(victim).ok());
+        }
+        if (sim->replica(victim).membership() ==
+            ReplicaMembership::kCatchingUp) {
+          // Crash it again, mid-catch-up: some records applied past the
+          // checkpoint, some journaled-but-unapplied.
+          ASSERT_TRUE(sim->CrashReplica(victim).ok());
+          ASSERT_TRUE(sim->RejoinReplica(victim).ok());
+        }
+        phase = kCatchingUp;
+        continue;
+      }
+      if (sim->Quiescent()) {
+        break;
+      }
+      RepAction action = policy.Next(*sim);
+      ASSERT_NE(action.kind, RepAction::Kind::kNone) << "seed " << seed;
+      ASSERT_TRUE(sim->Step(action).ok()) << "seed " << seed;
+      ++actions;
+    }
+
+    // Strong convergence: the twice-crashed replica's view is byte-equal
+    // to the lead's and to every peer's.
+    ReplicaConvergenceReport conv = sim->ConvergenceNow();
+    EXPECT_TRUE(conv.converged) << "seed " << seed << ": " << conv.ToString();
+    for (int r = 0; r < sim->num_replicas(); ++r) {
+      EXPECT_EQ(sim->replica(r).view(), sim->lead().warehouse_view())
+          << "seed " << seed << " replica " << r;
+    }
+  }
 }
 
 }  // namespace

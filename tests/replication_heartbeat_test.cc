@@ -1,0 +1,228 @@
+// Heartbeat failure-detection edge cases: exact suspect/evict thresholds,
+// a crashed replica evicted after the bounded miss count, a flapping
+// replica (spuriously evicted and rejoined repeatedly under a lossy
+// control channel) that stays harmless, and the all-replicas-suspect
+// degenerate case in which every read is refused but the run still drains.
+#include "replication/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "replication/replicated_simulation.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+TEST(HeartbeatMonitorTest, ThresholdsAreExact) {
+  HeartbeatConfig config{2, 4, 0.0, 1};
+  ASSERT_TRUE(config.Validate().ok());
+  HeartbeatMonitor monitor(2, config);
+  // Replica 0 goes silent; replica 1 keeps beating.
+  std::vector<BeatInput> inputs = {BeatInput::kSilent, BeatInput::kBeat};
+
+  EXPECT_TRUE(monitor.Round(inputs, nullptr).empty());  // miss 1: live
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kLive);
+  EXPECT_TRUE(monitor.Round(inputs, nullptr).empty());  // miss 2: suspect
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kSuspect);
+  EXPECT_EQ(monitor.suspicions(), 1);
+  EXPECT_TRUE(monitor.Round(inputs, nullptr).empty());  // miss 3: suspect
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kSuspect);
+  EXPECT_EQ(monitor.suspicions(), 1);  // not re-counted
+  std::vector<int> evicted = monitor.Round(inputs, nullptr);  // miss 4
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 0);
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kEvicted);
+  EXPECT_EQ(monitor.evictions(), 1);
+  // Evicted replicas leave the detector: no further transitions.
+  EXPECT_TRUE(monitor.Round(inputs, nullptr).empty());
+  EXPECT_EQ(monitor.evictions(), 1);
+  // The healthy replica never left kLive.
+  EXPECT_EQ(monitor.health(1), ReplicaHealth::kLive);
+  EXPECT_EQ(monitor.missed(1), 0);
+
+  monitor.Restore(0);
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kLive);
+  EXPECT_EQ(monitor.missed(0), 0);
+}
+
+TEST(HeartbeatMonitorTest, RecoveredBeatResetsTheMissCounter) {
+  HeartbeatConfig config{2, 4, 0.0, 1};
+  HeartbeatMonitor monitor(1, config);
+  std::vector<BeatInput> silent = {BeatInput::kSilent};
+  std::vector<BeatInput> beat = {BeatInput::kBeat};
+  ASSERT_TRUE(monitor.Round(silent, nullptr).empty());
+  ASSERT_TRUE(monitor.Round(silent, nullptr).empty());
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kSuspect);
+  // One heard beat fully rehabilitates the replica.
+  ASSERT_TRUE(monitor.Round(beat, nullptr).empty());
+  EXPECT_EQ(monitor.health(0), ReplicaHealth::kLive);
+  EXPECT_EQ(monitor.missed(0), 0);
+}
+
+TEST(HeartbeatMonitorTest, TotalBeatLossEventuallyEvictsEveryone) {
+  HeartbeatConfig config{1, 2, 1.0, 9};  // every beat lost in transit
+  HeartbeatMonitor monitor(3, config);
+  CostMeter meter(-1);
+  std::vector<BeatInput> inputs(3, BeatInput::kBeat);
+  EXPECT_TRUE(monitor.Round(inputs, &meter).empty());
+  std::vector<int> evicted = monitor.Round(inputs, &meter);
+  EXPECT_EQ(evicted, (std::vector<int>{0, 1, 2}));
+  // Beats were emitted (and metered) even though none was heard.
+  EXPECT_EQ(meter.heartbeat_messages(), 6);
+  EXPECT_EQ(monitor.beats_lost(), 6);
+  EXPECT_EQ(monitor.beats_heard(), 0);
+}
+
+TEST(HeartbeatMonitorTest, ConfigValidation) {
+  EXPECT_FALSE((HeartbeatConfig{0, 4, 0.0, 1}).Validate().ok());
+  EXPECT_FALSE((HeartbeatConfig{3, 2, 0.0, 1}).Validate().ok());
+  EXPECT_FALSE((HeartbeatConfig{2, 4, 1.5, 1}).Validate().ok());
+  EXPECT_FALSE((HeartbeatConfig{2, 4, -0.1, 1}).Validate().ok());
+  EXPECT_TRUE((HeartbeatConfig{2, 4, 0.5, 1}).Validate().ok());
+}
+
+struct SimFixture {
+  Workload workload;
+  std::unique_ptr<ReplicatedSimulation> sim;
+};
+
+SimFixture MakeSim(uint64_t seed, ReplicationOptions rep, int num_updates) {
+  SimFixture f;
+  Random rng(seed);
+  Result<Workload> workload = MakeExample6Workload(Example6Config{30, 3}, &rng);
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  f.workload = std::move(*workload);
+  Result<std::vector<Update>> updates =
+      MakeRoundRobinInserts(f.workload, num_updates, &rng);
+  EXPECT_TRUE(updates.ok()) << updates.status();
+  Result<std::unique_ptr<ReplicatedSimulation>> sim =
+      ReplicatedSimulation::Create(f.workload.initial, f.workload.view,
+                                   Algorithm::kEca, SimulationOptions(), rep);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  f.sim = std::move(*sim);
+  f.sim->SetUpdateScript(std::move(*updates));
+  return f;
+}
+
+// Drains every enabled action EXCEPT heartbeats and reads, so a test can
+// place those two at exact points in the schedule.
+void DrainDataPlane(ReplicatedSimulation* sim) {
+  for (int guard = 0; guard < 1000000; ++guard) {
+    bool stepped = false;
+    for (const RepAction& action : sim->EnabledActions()) {
+      if (action.kind == RepAction::Kind::kHeartbeatRound ||
+          action.kind == RepAction::Kind::kClientRead) {
+        continue;
+      }
+      ASSERT_TRUE(sim->Step(action).ok());
+      stepped = true;
+      break;
+    }
+    if (!stepped) {
+      return;
+    }
+  }
+  FAIL() << "data plane failed to drain";
+}
+
+TEST(ReplicationHeartbeatTest, CrashedReplicaEvictedAfterBoundedMisses) {
+  ReplicationOptions rep;
+  rep.num_replicas = 3;
+  rep.heartbeat_rounds = 10;
+  rep.suspect_after = 2;
+  rep.evict_after = 4;
+  rep.heartbeat_loss_rate = 0.0;
+  SimFixture f = MakeSim(21, rep, 6);
+  DrainDataPlane(f.sim.get());
+
+  ASSERT_TRUE(f.sim->CrashReplica(2).ok());
+  for (int round = 0; round < rep.evict_after; ++round) {
+    EXPECT_EQ(f.sim->replica(2).membership(), ReplicaMembership::kInGroup)
+        << "evicted before the bounded miss count, at round " << round;
+    ASSERT_TRUE(f.sim->StepHeartbeatRound().ok());
+  }
+  // Exactly evict_after silent rounds: out of the group, endpoint detached.
+  EXPECT_EQ(f.sim->replica(2).membership(), ReplicaMembership::kEvicted);
+  EXPECT_FALSE(f.sim->sequencer().attached(2));
+  EXPECT_EQ(f.sim->monitor().evictions(), 1);
+
+  // Rejoin and drain: the group is whole and converged again.
+  ASSERT_TRUE(f.sim->RejoinReplica(2).ok());
+  RandomReplicatedPolicy policy(21);
+  ASSERT_TRUE(RunReplicatedToQuiescence(f.sim.get(), &policy).ok());
+  EXPECT_TRUE(f.sim->ConvergenceNow().converged);
+}
+
+TEST(ReplicationHeartbeatTest, FlappingReplicaEvictsAndRejoinsRepeatedly) {
+  // A savagely lossy control channel: healthy replicas get spuriously
+  // evicted over and over. The catch-up path must make each flap harmless
+  // — the run still converges byte-identically.
+  ReplicationOptions rep;
+  rep.num_replicas = 3;
+  rep.heartbeat_rounds = 80;
+  rep.suspect_after = 1;
+  rep.evict_after = 2;
+  rep.heartbeat_loss_rate = 0.7;
+  rep.heartbeat_seed = 33;
+  rep.reads = 10;
+  rep.read_policy = ReadPolicy::kBoundedStaleness;
+  rep.staleness_bound = 1000;
+  SimFixture f = MakeSim(33, rep, 8);
+  RandomReplicatedPolicy policy(33);
+  ASSERT_TRUE(RunReplicatedToQuiescence(f.sim.get(), &policy).ok());
+
+  // Multiple spurious evictions happened and every one was healed.
+  EXPECT_GE(f.sim->monitor().evictions(), 2);
+  int rejoins = 0;
+  for (const TraceEvent& e : f.sim->trace().events()) {
+    if (e.kind == TraceEvent::Kind::kRejoin) {
+      ++rejoins;
+    }
+  }
+  EXPECT_GE(rejoins, 2);
+  EXPECT_TRUE(f.sim->ConvergenceNow().converged)
+      << f.sim->ConvergenceNow().ToString();
+  for (int r = 0; r < f.sim->num_replicas(); ++r) {
+    EXPECT_EQ(f.sim->replica(r).view(), f.sim->lead().warehouse_view()) << r;
+  }
+}
+
+TEST(ReplicationHeartbeatTest, AllReplicasSuspectRefusesReadsWithoutWedging) {
+  ReplicationOptions rep;
+  rep.num_replicas = 3;
+  rep.heartbeat_rounds = 2;
+  rep.suspect_after = 2;
+  rep.evict_after = 100;  // suspicion only — nobody actually leaves
+  rep.heartbeat_loss_rate = 1.0;  // every beat lost: the degenerate case
+  rep.reads = 2;
+  SimFixture f = MakeSim(41, rep, 4);
+  DrainDataPlane(f.sim.get());
+
+  ASSERT_TRUE(f.sim->StepHeartbeatRound().ok());
+  ASSERT_TRUE(f.sim->StepHeartbeatRound().ok());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(f.sim->monitor().health(r), ReplicaHealth::kSuspect) << r;
+    // Suspects stay in the group (they keep applying the broadcast)...
+    EXPECT_EQ(f.sim->replica(r).membership(), ReplicaMembership::kInGroup)
+        << r;
+  }
+  // ...but none of them serves: both reads are refused, consuming budget.
+  ASSERT_TRUE(f.sim->StepClientRead().ok());
+  ASSERT_TRUE(f.sim->StepClientRead().ok());
+  ASSERT_EQ(f.sim->read_log().size(), 2u);
+  EXPECT_FALSE(f.sim->read_log()[0].served);
+  EXPECT_FALSE(f.sim->read_log()[1].served);
+  EXPECT_EQ(f.sim->router().stats().refused, 2);
+
+  // The degenerate case cannot wedge the run: budgets are spent, the data
+  // plane is drained, so the system is quiescent (and still converged).
+  EXPECT_TRUE(f.sim->Quiescent());
+  EXPECT_TRUE(f.sim->ConvergenceNow().converged);
+}
+
+}  // namespace
+}  // namespace wvm

@@ -26,6 +26,10 @@ std::string CostMeter::ToString() const {
   if (heartbeat_messages_ > 0) {
     out += StrCat(", replication: ", heartbeat_messages_, " heartbeats");
   }
+  if (deduped_query_terms_ > 0) {
+    out += StrCat(", shared maintenance: ", deduped_query_terms_,
+                  " deduped query terms");
+  }
   return out;
 }
 

@@ -49,6 +49,12 @@ class CostMeter {
   /// maintenance communication, so — like retransmissions and acks — it is
   /// counted beside the paper's M/B, never inside them.
   void RecordHeartbeat() { ++heartbeat_messages_; }
+  /// `terms` query terms that the multi-view shared-maintenance layer did
+  /// NOT send because an identical normalized term was already going out in
+  /// the same shared query (cross-view dedup). The savings show up in M/B
+  /// directly — fewer and smaller query messages — so this counter is pure
+  /// diagnostics beside them, never inside.
+  void RecordDedupedTerms(int64_t terms) { deduped_query_terms_ += terms; }
 
   /// M of Section 6.1.
   int64_t messages() const { return query_messages_ + answer_messages_; }
@@ -64,6 +70,7 @@ class CostMeter {
   int64_t retransmitted_bytes() const { return retransmitted_bytes_; }
   int64_t ack_messages() const { return ack_messages_; }
   int64_t heartbeat_messages() const { return heartbeat_messages_; }
+  int64_t deduped_query_terms() const { return deduped_query_terms_; }
 
   void Reset() { *this = CostMeter(bytes_per_tuple_); }
 
@@ -83,6 +90,7 @@ class CostMeter {
   int64_t retransmitted_bytes_ = 0;
   int64_t ack_messages_ = 0;
   int64_t heartbeat_messages_ = 0;
+  int64_t deduped_query_terms_ = 0;
 };
 
 }  // namespace wvm

@@ -1,0 +1,180 @@
+#ifndef WVM_COMMON_FLAT_MAP_H_
+#define WVM_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wvm {
+
+/// Open-addressing hash map from a non-zero uint64_t key to V — the routing
+/// table behind the multi-view warehouse (query id -> owning children).
+/// Follows the FlatCountsMap layout: two parallel power-of-two arrays
+/// (`keys_`, 0 marking an empty slot, and `values_`), Fibonacci slot mapping
+/// so the strongly correlated sequential query ids don't clump into linear
+/// probe clusters, linear-probe collisions, and backward-shift deletion so a
+/// long run that erases every completed route leaves no tombstones behind.
+/// Max load factor 3/4.
+///
+/// Keys must be non-zero (query ids start at 1). References are stable until
+/// the next mutation. Not thread-safe; warehouse events are serial.
+template <typename V>
+class FlatKeyMap {
+ public:
+  FlatKeyMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return keys_.size(); }
+
+  /// The value stored under `key`, or nullptr.
+  V* Find(uint64_t key) {
+    const size_t i = IndexOf(key);
+    return i == kNotFound ? nullptr : &values_[i];
+  }
+  const V* Find(uint64_t key) const {
+    const size_t i = IndexOf(key);
+    return i == kNotFound ? nullptr : &values_[i];
+  }
+
+  /// Inserts or overwrites `key`'s value.
+  void InsertOrAssign(uint64_t key, V value) {
+    const size_t i = Locate(key);
+    if (keys_[i] == key) {
+      values_[i] = std::move(value);
+      return;
+    }
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes `key` if present; returns whether it was.
+  bool Erase(uint64_t key) {
+    const size_t i = IndexOf(key);
+    if (i == kNotFound) {
+      return false;
+    }
+    EraseAt(i);
+    return true;
+  }
+
+  /// Removes `key` and returns its value (for consume-on-answer routing:
+  /// the route must leave the table before dispatch, which may insert).
+  bool Take(uint64_t key, V* out) {
+    const size_t i = IndexOf(key);
+    if (i == kNotFound) {
+      return false;
+    }
+    *out = std::move(values_[i]);
+    EraseAt(i);
+    return true;
+  }
+
+  void Clear() {
+    keys_.clear();
+    values_.clear();
+    size_ = 0;
+    shift_ = 64;
+  }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) {
+        fn(keys_[i], values_[i]);
+      }
+    }
+  }
+
+ private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+  size_t SlotOf(uint64_t key) const { return (key * kGolden) >> shift_; }
+
+  size_t IndexOf(uint64_t key) const {
+    if (size_ == 0 || key == 0) {
+      return kNotFound;
+    }
+    const size_t mask = keys_.size() - 1;
+    for (size_t i = SlotOf(key); keys_[i] != 0; i = (i + 1) & mask) {
+      if (keys_[i] == key) {
+        return i;
+      }
+    }
+    return kNotFound;
+  }
+
+  // Slot where `key` lives or belongs; grows first to keep the load bound.
+  size_t Locate(uint64_t key) {
+    if ((size_ + 1) * 4 > keys_.size() * 3) {
+      Rehash(keys_.empty() ? kMinCapacity : keys_.size() * 2);
+    }
+    const size_t mask = keys_.size() - 1;
+    size_t i = SlotOf(key);
+    while (keys_[i] != 0 && keys_[i] != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  // Backward-shift deletion, as in FlatCountsMap::EraseAt.
+  void EraseAt(size_t i) {
+    const size_t mask = keys_.size() - 1;
+    size_t j = i;
+    for (;;) {
+      keys_[i] = 0;
+      values_[i] = V();
+      for (;;) {
+        j = (j + 1) & mask;
+        if (keys_[j] == 0) {
+          --size_;
+          return;
+        }
+        const size_t ideal = SlotOf(keys_[j]);
+        if (((j - ideal) & mask) >= ((j - i) & mask)) {
+          keys_[i] = keys_[j];
+          values_[i] = std::move(values_[j]);
+          i = j;
+          break;
+        }
+      }
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_capacity, 0);
+    values_.assign(new_capacity, V());
+    shift_ = 64;
+    for (size_t cap = new_capacity; cap > 1; cap >>= 1) {
+      --shift_;
+    }
+    const size_t mask = new_capacity - 1;
+    for (size_t s = 0; s < old_keys.size(); ++s) {
+      if (old_keys[s] == 0) {
+        continue;
+      }
+      size_t i = SlotOf(old_keys[s]);
+      while (keys_[i] != 0) {
+        i = (i + 1) & mask;
+      }
+      keys_[i] = old_keys[s];
+      values_[i] = std::move(old_values[s]);
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  size_t size_ = 0;
+  int shift_ = 64;  // 64 - log2(capacity); 64 while empty
+};
+
+}  // namespace wvm
+
+#endif  // WVM_COMMON_FLAT_MAP_H_

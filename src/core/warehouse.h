@@ -29,6 +29,10 @@ class WarehouseContext {
   /// view state is observable to the state log — the granularity the
   /// completeness definition of Section 3.1 speaks about.
   virtual void NotifyViewChanged() {}
+  /// The multi-view shared-maintenance layer reports how many query terms
+  /// it deduplicated away within one event. Diagnostics beside M/B; the
+  /// default ignores it (single-view contexts never dedup).
+  virtual void RecordDedupedTerms(int64_t terms) { (void)terms; }
 };
 
 /// A deep copy of a maintainer's full state, taken at a checkpoint and
@@ -134,6 +138,13 @@ class Warehouse : public WarehouseContext {
   void NotifyViewChanged() override {
     if (view_observer_) {
       view_observer_();
+    }
+  }
+  void RecordDedupedTerms(int64_t terms) override {
+    // Replayed events re-deduplicate the queries they deduplicated the
+    // first time; like SendQuery, replay must not meter them again.
+    if (!replaying_) {
+      meter_->RecordDedupedTerms(terms);
     }
   }
 

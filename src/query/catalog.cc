@@ -81,6 +81,16 @@ Status Catalog::Apply(const Update& u) {
   return Status::OK();
 }
 
+Status Catalog::Erase(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not defined"));
+  }
+  DropIndexesFor(name);
+  relations_.erase(it);
+  return Status::OK();
+}
+
 Result<std::shared_ptr<const RelationKeyIndex>> Catalog::KeyIndexFor(
     const std::string& name, const std::vector<size_t>& cols) const {
   auto rel = relations_.find(name);

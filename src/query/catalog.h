@@ -49,6 +49,11 @@ class Catalog {
   /// Executes `u` against the stored relation.
   Status Apply(const Update& u);
 
+  /// Unregisters relation `name`, dropping its cached key indexes with it
+  /// (auxiliary-view demotion in the source's term cache). Fails if the
+  /// relation was never defined.
+  Status Erase(const std::string& name);
+
   /// Names of all defined relations, sorted.
   std::vector<std::string> Names() const;
 

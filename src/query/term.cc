@@ -84,4 +84,16 @@ std::string Term::ToString() const {
                 Join(parts, " x "), "))");
 }
 
+std::string TermSignature(const Term& term) {
+  std::string key = StrCat(term.view()->structure_key(), "|");
+  for (const TermOperand& op : term.operands()) {
+    if (op.is_bound) {
+      key += StrCat(op.bound.tuple.ToString(), "|");
+    } else {
+      key += "*|";
+    }
+  }
+  return key;
+}
+
 }  // namespace wvm

@@ -78,6 +78,17 @@ class Term {
   uint64_t delta_update_id_ = 0;
 };
 
+/// Structural signature of a term: the view's structure key (so two
+/// distinct-but-identical ViewDefinition objects — e.g. one per multi-view
+/// child — share entries) plus, per operand position, either an unbound
+/// marker or the bound tuple's value — ignoring the coefficient and the
+/// bound signs. Two terms with the same signature evaluate to the same
+/// relation up to the scalar coefficient * product-of-bound-signs (terms
+/// are linear in every operand), which is the factor Term::Normalized
+/// reports. Shared key of the source's cross-query term cache and the
+/// multi-view warehouse's cross-view query dedup.
+std::string TermSignature(const Term& term);
+
 }  // namespace wvm
 
 #endif  // WVM_QUERY_TERM_H_

@@ -142,6 +142,22 @@ Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
   WVM_ASSIGN_OR_RETURN(view->residual_bound_cond_,
                        view->residual_cond_.Bind(view->combined_schema_));
 
+  // Canonical structure rendering (everything but the view's name): base
+  // relation names + schemas fix the operand spaces, projection indices and
+  // the condition fix the function computed over them.
+  {
+    std::string key;
+    for (const BaseRelationDef& r : view->relations_) {
+      key += StrCat(r.name, ":", r.schema.ToString(), "|");
+    }
+    key += "pi:";
+    for (size_t i : view->projection_indices_) {
+      key += StrCat(i, ",");
+    }
+    key += StrCat("|sigma:", view->cond_.ToString());
+    view->structure_key_ = std::move(key);
+  }
+
   // Pre-warm the plan cache: the full-view plan (initial materialization)
   // and one single-substitution plan per relation (the shapes every delta
   // query produced by Term::Substitute takes). Best-effort — a shape that
@@ -167,6 +183,11 @@ Result<std::shared_ptr<const CompiledDeltaPlan>> ViewDefinition::CompiledPlanFor
   auto shared = std::make_shared<const CompiledDeltaPlan>(std::move(plan));
   plan_cache_.emplace(bound_mask, shared);
   return shared;
+}
+
+bool ViewDefinition::HasCompiledPlanFor(uint64_t bound_mask) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plan_cache_.count(bound_mask) > 0;
 }
 
 void ViewDefinition::InvalidateCompiledPlans() const {

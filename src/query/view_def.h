@@ -119,6 +119,18 @@ class ViewDefinition {
   /// staleness of plans obtained earlier.
   uint64_t compiled_plan_epoch() const;
 
+  /// True when a plan for `bound_mask` is already cached (no compilation is
+  /// triggered). Lets tests and the multi-view pre-warm verify coverage.
+  bool HasCompiledPlanFor(uint64_t bound_mask) const;
+
+  /// A canonical rendering of the view's STRUCTURE — base relations with
+  /// their schemas, projection indices, and condition — excluding the view's
+  /// name. Two views with equal structure keys compute the same function of
+  /// the base relations, so term signatures keyed on this string share work
+  /// across distinct-but-identical ViewDefinition objects (the multi-view
+  /// warehouse registers one per child). Computed once at Create.
+  const std::string& structure_key() const { return structure_key_; }
+
   /// Renders e.g. "V = pi_{W}(sigma_{true}(r1 x r2))".
   std::string ToString() const;
 
@@ -137,6 +149,7 @@ class ViewDefinition {
   BoundPredicate residual_bound_cond_;
   bool has_all_base_keys_ = false;
   std::vector<EquiEdge> equi_edges_;
+  std::string structure_key_;
 
   // Compiled-plan cache, keyed by bound mask. Mutable: plans are derived
   // data over the immutable definition, filled lazily under plan_mu_ (terms

@@ -437,7 +437,8 @@ Result<AnswerMessage> EvaluateQueryPhysical(const Query& query,
       int sign_product = 0;
       Term normalized = t.Normalized(&sign_product);
       const std::string signature = TermSignature(normalized);
-      std::optional<Relation> core = term_cache->Lookup(signature, io);
+      std::optional<Relation> core =
+          term_cache->Lookup(signature, t.view().get(), io);
       if (!core.has_value()) {
         IOStats fill;
         fill.record_plans = io->record_plans;

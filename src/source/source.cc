@@ -81,8 +81,8 @@ Status Source::ExecuteUpdate(const Update& u) {
     // Maintain cached term answers incrementally: each affected entry is
     // patched with the delta term T<U> (evaluated against the post-update
     // storage) or evicted when patching would cost more than recomputing.
-    WVM_RETURN_IF_ERROR(
-        term_cache_->ApplyUpdate(u, storage_, config_.physical, &io_stats_));
+    WVM_RETURN_IF_ERROR(term_cache_->ApplyUpdate(u, storage_, &catalog_,
+                                                 config_.physical, &io_stats_));
   }
   return Status::OK();
 }

@@ -5,10 +5,12 @@
 #include <list>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
 #include "common/result.h"
+#include "query/catalog.h"
 #include "query/term.h"
 #include "relational/relation.h"
 #include "relational/update.h"
@@ -21,23 +23,31 @@ namespace wvm {
 /// byte-identical unless explicitly enabled.
 struct TermCacheConfig {
   bool enabled = false;
-  /// LRU bound on the number of cached term answers.
+  /// LRU bound on the number of cached term answers (promoted auxiliary
+  /// views are pinned and do not consume LRU slots).
   size_t capacity = 64;
-  /// Multiplier applied to the estimated patch cost before comparing it to
-  /// the entry's measured recompute cost; values > 1 bias the policy toward
-  /// eviction, values < 1 toward patching.
+  /// Multiplier applied to the estimated patch cost before comparing it
+  /// (plus the entry's accrued patch I/O since its last hit) to the entry's
+  /// measured recompute cost; values > 1 bias the policy toward eviction,
+  /// values < 1 toward patching.
   double patch_cost_factor = 1.0;
-};
 
-/// Structural signature of a term: the view (by identity) plus, per operand
-/// position, either an unbound marker or the bound tuple's value — ignoring
-/// the coefficient and the bound signs. Two terms with the same signature
-/// evaluate to the same relation up to the scalar
-/// coefficient * product-of-bound-signs (terms are linear in every operand),
-/// which is the factor Term::Normalized reports. This generalizes the
-/// within-query multiple-term optimization of Section 6.3 to any pair of
-/// terms, across queries.
-std::string TermSignature(const Term& term);
+  /// Auxiliary-view promotion (multi-query optimization): entries that are
+  /// hot ACROSS consumer views graduate into first-class views registered
+  /// in the cache's aux catalog, pinned against LRU pressure, and patched
+  /// through the views' compiled delta plans. Off by default.
+  bool promote = false;
+  /// An entry qualifies for promotion once it has served this many hits...
+  int64_t promote_min_hits = 3;
+  /// ...from at least this many distinct consumer views...
+  int64_t promote_min_views = 2;
+  /// ...and its hits have bought back more reads than its patches cost
+  /// (hits * fill_reads > lifetime patch reads — materialize-vs-recompute).
+  /// A promoted entry that is patched through this many consecutive updates
+  /// without an intervening hit has gone cold and is demoted back to a
+  /// plain LRU entry (and unregistered from the aux catalog).
+  int64_t demote_after_updates = 16;
+};
 
 /// A cross-query cache of term answers, maintained *incrementally under
 /// updates*: where a conventional cache would invalidate on any base-table
@@ -50,14 +60,22 @@ std::string TermSignature(const Term& term);
 ///
 /// Entries store the normalized answer (coefficient +1, bound signs +1);
 /// lookups rescale by the caller's sign product. When patching is estimated
-/// to cost more page reads than the entry's measured recompute cost, the
-/// entry is evicted instead. Capacity is LRU-bounded.
+/// to cost more page reads than the entry's measured recompute cost —
+/// counting the patch I/O already charged to THIS entry since its last hit,
+/// so an entry that is all maintenance and no reuse cannot freeload on the
+/// aggregate — the entry is evicted instead. Capacity is LRU-bounded.
 ///
-/// Hits, misses, patches and evictions are metered into IOStats' dedicated
-/// term-cache counters; patch page reads accumulate separately from the
-/// paper's per-query page-read accounting (they are source-side maintenance
-/// I/O, not query I/O). All methods are thread-safe: a mutex guards the
-/// table so parallel query batches may share the cache.
+/// With promotion enabled, entries hot across several consumer views become
+/// auxiliary views: registered in aux_catalog(), pinned against LRU
+/// eviction, and patched through compiled delta plans (PR 6) against the
+/// source's logical catalog. Cold promoted entries are demoted back.
+///
+/// Hits, misses, patches, evictions, promotions and demotions are metered
+/// into IOStats' dedicated term-cache counters; patch page reads accumulate
+/// separately from the paper's per-query page-read accounting (they are
+/// source-side maintenance I/O, not query I/O). All methods are
+/// thread-safe: a mutex guards the table so parallel query batches may
+/// share the cache.
 class TermCache {
  public:
   explicit TermCache(const TermCacheConfig& config = TermCacheConfig())
@@ -66,9 +84,13 @@ class TermCache {
   bool enabled() const { return config_.enabled; }
 
   /// Returns the cached normalized answer for `signature` (refreshing its
-  /// LRU position and counting a hit), or nullopt (counting a miss). The
-  /// returned Relation shares storage copy-on-write, so the copy is cheap.
-  std::optional<Relation> Lookup(const std::string& signature, IOStats* io);
+  /// LRU position and counting a hit), or nullopt (counting a miss).
+  /// `consumer` identifies the view the requesting term belongs to (by
+  /// object identity) for the cross-view hit statistics that drive
+  /// promotion; it may be null for consumers outside any view. The returned
+  /// Relation shares storage copy-on-write, so the copy is cheap.
+  std::optional<Relation> Lookup(const std::string& signature,
+                                 const void* consumer, IOStats* io);
 
   /// Caches `core` — the answer of `normalized` (a term with coefficient +1
   /// and all bound signs +1) — under `signature`. `fill_reads` is the
@@ -83,20 +105,54 @@ class TermCache {
   /// relation position (or whose view does not mention it) are untouched;
   /// the rest are patched by evaluating the delta term T<U> against the
   /// post-update storage and adding it in, or evicted when the estimated
-  /// patch cost exceeds the remembered recompute cost. Patch page reads and
-  /// patch/eviction counts are metered into `io`.
+  /// patch cost plus the entry's accrued patch I/O exceeds the remembered
+  /// recompute cost. Promoted entries patch through their view's compiled
+  /// delta plan against `catalog` (the source's post-update logical state;
+  /// may be null to force the physical path) and are demoted instead of
+  /// evicted when cold. Patch page reads and patch/eviction counts are
+  /// metered into `io`.
   Status ApplyUpdate(const Update& u, const StorageMap& storage,
-                     const PhysicalConfig& config, IOStats* io);
+                     const Catalog* catalog, const PhysicalConfig& config,
+                     IOStats* io);
+
+  /// The catalog of promoted auxiliary views ("aux1", "aux2", ...): each
+  /// relation holds the promoted entry's current materialized answer, kept
+  /// in sync by ApplyUpdate. Empty unless promotion is enabled.
+  const Catalog& aux_catalog() const { return aux_catalog_; }
+
+  /// Whether `signature`'s entry is currently a promoted auxiliary view.
+  bool IsPromoted(const std::string& signature) const;
+  /// Number of currently promoted entries.
+  size_t promoted_count() const;
 
   size_t size() const;
   void Clear();
 
  private:
   struct Entry {
+    Entry(Term normalized_in, Relation core_in, int64_t fill_reads_in)
+        : normalized(std::move(normalized_in)),
+          core(std::move(core_in)),
+          fill_reads(fill_reads_in) {}
+
     Term normalized;
     Relation core;
-    int64_t fill_reads = 0;
-    std::list<std::string>::iterator lru_pos;
+    int64_t fill_reads;
+    std::list<std::string>::iterator lru_pos;  // valid iff !promoted
+
+    // Cross-view usage statistics (drive promotion).
+    int64_t hits = 0;
+    std::set<const void*> consumers;
+    // Patch I/O charged to this entry since its last hit — the per-entry
+    // truth the patch-vs-evict selector compares against fill_reads.
+    int64_t patch_reads_since_hit = 0;
+    // Lifetime patch I/O, for the materialize-vs-recompute benefit test.
+    int64_t lifetime_patch_reads = 0;
+    // Updates that patched the entry since its last hit (cold detection).
+    int64_t updates_since_hit = 0;
+
+    bool promoted = false;
+    std::string aux_name;  // set iff promoted
   };
 
   /// Planner-flavored estimate of the page reads needed to evaluate
@@ -106,10 +162,20 @@ class TermCache {
   /// only has to rank patching against the measured recompute cost.
   static double EstimateEvalReads(const Term& term, const StorageMap& storage);
 
+  /// Number of promoted (pinned) entries — exactly the ones not on the LRU.
+  size_t promoted_unlocked() const { return entries_.size() - lru_.size(); }
+
+  /// Promotes `entry` (locked): pin, register in the aux catalog, meter.
+  void Promote(const std::string& signature, Entry* entry, IOStats* io);
+  /// Demotes `entry` (locked): unpin to the LRU front, unregister, meter.
+  void Demote(const std::string& signature, Entry* entry, IOStats* io);
+
   mutable std::mutex mu_;
   TermCacheConfig config_;
   std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
+  std::list<std::string> lru_;  // front = most recently used; unpromoted only
+  Catalog aux_catalog_;
+  uint64_t next_aux_id_ = 1;
 };
 
 }  // namespace wvm

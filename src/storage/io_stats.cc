@@ -19,6 +19,12 @@ std::string IOStats::ToString() const {
                 " patches (", term_cache_patch_reads, " reads), ",
                 term_cache_evictions, " evictions]");
   }
+  if (term_cache_promotions != 0 || term_cache_demotions != 0 ||
+      term_cache_aux_hits != 0) {
+    s += StrCat(" [aux views: ", term_cache_promotions, " promoted, ",
+                term_cache_demotions, " demoted, ", term_cache_aux_hits,
+                " aux hits]");
+  }
   return s;
 }
 

@@ -36,6 +36,14 @@ struct IOStats {
   int64_t term_cache_evictions = 0;
   int64_t term_cache_patch_reads = 0;
 
+  /// Auxiliary-view counters (TermCacheConfig::promote): entries promoted
+  /// into the cache's aux catalog, promoted entries demoted back after
+  /// going cold, and hits served by a promoted (pinned) entry. Zero — and
+  /// absent from ToString() — unless promotion is enabled.
+  int64_t term_cache_promotions = 0;
+  int64_t term_cache_demotions = 0;
+  int64_t term_cache_aux_hits = 0;
+
   /// When true, the physical evaluator appends a human-readable line per
   /// plan step (probe/scan/loop decisions) to `plan_log` — an EXPLAIN for
   /// the Appendix D plans.
@@ -67,6 +75,9 @@ struct IOStats {
     term_cache_patches += other.term_cache_patches;
     term_cache_evictions += other.term_cache_evictions;
     term_cache_patch_reads += other.term_cache_patch_reads;
+    term_cache_promotions += other.term_cache_promotions;
+    term_cache_demotions += other.term_cache_demotions;
+    term_cache_aux_hits += other.term_cache_aux_hits;
     if (record_plans) {
       plan_log.insert(plan_log.end(), other.plan_log.begin(),
                       other.plan_log.end());
@@ -85,6 +96,10 @@ struct IOStats {
     d.term_cache_evictions = term_cache_evictions - other.term_cache_evictions;
     d.term_cache_patch_reads =
         term_cache_patch_reads - other.term_cache_patch_reads;
+    d.term_cache_promotions =
+        term_cache_promotions - other.term_cache_promotions;
+    d.term_cache_demotions = term_cache_demotions - other.term_cache_demotions;
+    d.term_cache_aux_hits = term_cache_aux_hits - other.term_cache_aux_hits;
     return d;
   }
 

@@ -6,6 +6,12 @@
 // caught violating weak consistency on at least one interleaving.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/eca.h"
+#include "core/eca_key.h"
+#include "core/multi_view.h"
 #include "test_util.h"
 #include "workload/generator.h"
 
@@ -119,6 +125,113 @@ TEST_P(MatrixSweep, EcaBatchIsStronglyConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep,
                          ::testing::Range<uint64_t>(1, 26));
+
+// --- Multi-view shared maintenance -----------------------------------------
+// Five children of mixed algorithms (ECA and ECA-Key) over five views of
+// the keyed workload — two pairs structurally identical across children —
+// maintained through one warehouse, on clean and on faulty (reliable)
+// transports. Shared maintenance on must be tuple-for-tuple identical to
+// the independent-children baseline for EVERY child, and child 0's state
+// sequence must stay strongly consistent either way.
+
+struct MultiViewMatrixSetup {
+  Workload workload;
+  std::vector<ViewDefinitionPtr> views;
+  std::vector<Update> updates;
+};
+
+MultiViewMatrixSetup MakeMultiViewSetup(uint64_t seed) {
+  Random rng(seed);
+  Result<Workload> w = MakeKeyedWorkload({/*c=*/12, /*j=*/3}, &rng);
+  EXPECT_TRUE(w.ok()) << w.status();
+  Result<std::vector<Update>> updates =
+      MakeMixedUpdates(*w, /*k=*/8, /*delete_fraction=*/0.35, &rng);
+  EXPECT_TRUE(updates.ok()) << updates.status();
+  MultiViewMatrixSetup s{std::move(*w), {}, std::move(*updates)};
+  s.views = {
+      s.workload.view,  // EcaKey
+      // Structural twin of the keyed view, owned by a different object.
+      *ViewDefinition::NaturalJoin("V1", s.workload.defs, {"W", "Y"}),  // Eca
+      *ViewDefinition::NaturalJoin("V2", s.workload.defs, {"W"}),      // Eca
+      *ViewDefinition::NaturalJoin("V3", s.workload.defs,
+                                   {"W", "Y"}),  // EcaKey twin
+      *ViewDefinition::NaturalJoin("V4", s.workload.defs, {"X", "Y"}),  // Eca
+  };
+  return s;
+}
+
+std::unique_ptr<MultiViewWarehouse> MakeMixedChildren(
+    const MultiViewMatrixSetup& s, bool dedup) {
+  std::vector<std::unique_ptr<ViewMaintainer>> children;
+  children.push_back(std::make_unique<EcaKey>(s.views[0]));
+  children.push_back(std::make_unique<Eca>(s.views[1]));
+  children.push_back(std::make_unique<Eca>(s.views[2]));
+  children.push_back(std::make_unique<EcaKey>(s.views[3]));
+  children.push_back(std::make_unique<Eca>(s.views[4]));
+  MultiViewOptions options;
+  options.dedup = dedup;
+  return std::make_unique<MultiViewWarehouse>(std::move(children), options);
+}
+
+class MultiViewMatrix : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiViewMatrix, SharedMaintenanceMatchesIndependentChildren) {
+  const uint64_t seed = GetParam();
+  MultiViewMatrixSetup s = MakeMultiViewSetup(seed);
+  for (bool faulty : {false, true}) {
+    std::vector<Relation> baseline;
+    int64_t baseline_messages = 0;
+    for (bool dedup : {false, true}) {
+      auto multi_owner = MakeMixedChildren(s, dedup);
+      MultiViewWarehouse* multi = multi_owner.get();
+      SimulationOptions options;
+      if (faulty) {
+        options.fault.enabled = true;
+        options.fault.reliable = true;
+        options.fault.seed = seed;
+        options.fault.retransmit_timeout_ticks = 6;
+        options.fault.drop_rate = 0.25;
+        options.fault.duplicate_rate = 0.2;
+        options.fault.reorder_rate = 0.3;
+        options.fault.max_delay_ticks = 2;
+      }
+      Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+          s.workload.initial, s.views[0], std::move(multi_owner), options);
+      ASSERT_TRUE(sim.ok()) << sim.status();
+      (*sim)->SetUpdateScript(s.updates);
+      RandomPolicy policy(seed * 31 + faulty);
+      ASSERT_TRUE(RunToQuiescence(sim->get(), &policy).ok());
+      ASSERT_TRUE(multi->IsQuiescent());
+      ConsistencyReport report = CheckConsistency((*sim)->state_log());
+      EXPECT_TRUE(report.strongly_consistent)
+          << "dedup=" << dedup << " faulty=" << faulty << ": "
+          << report.ToString();
+      std::vector<Relation> finals;
+      for (size_t i = 0; i < s.views.size(); ++i) {
+        Result<Relation> expected =
+            EvaluateView(s.views[i], (*sim)->source_catalog());
+        ASSERT_TRUE(expected.ok());
+        EXPECT_EQ(multi->child(i).view_contents(), *expected)
+            << "child " << i << " dedup=" << dedup << " faulty=" << faulty;
+        finals.push_back(multi->child(i).view_contents());
+      }
+      if (!dedup) {
+        baseline = std::move(finals);
+        baseline_messages = (*sim)->meter().query_messages();
+      } else {
+        for (size_t i = 0; i < baseline.size(); ++i) {
+          EXPECT_EQ(finals[i], baseline[i])
+              << "child " << i << " diverges under shared maintenance"
+              << " (faulty=" << faulty << ")";
+        }
+        EXPECT_LE((*sim)->meter().query_messages(), baseline_messages);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiViewMatrix,
+                         ::testing::Range<uint64_t>(1, 13));
 
 TEST(MatrixSummaryTest, BasicViolatesCorrectnessSomewhere) {
   // The anomaly must actually occur in the sweep: across seeds, the basic

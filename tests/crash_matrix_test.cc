@@ -20,6 +20,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/eca.h"
+#include "core/eca_key.h"
+#include "core/multi_view.h"
 #include "replication/replicated_simulation.h"
 #include "test_util.h"
 #include "workload/generator.h"
@@ -81,8 +84,8 @@ struct CrashRunResult {
 // Runs `sim` to quiescence with a random policy, crashing `site` at action
 // number `crash_at` (counted across all performed actions) and restarting
 // it after `downtime` wire ticks. crash_at < 0 disables crashing.
-CrashRunResult RunWithCrashAt(std::unique_ptr<Simulation> sim, uint64_t seed,
-                              CrashSite site, int crash_at, int downtime) {
+CrashRunResult RunWithCrashAt(Simulation* sim, uint64_t seed, CrashSite site,
+                              int crash_at, int downtime) {
   CrashRunResult result;
   RandomPolicy policy(seed);
   int actions = 0;
@@ -95,12 +98,12 @@ CrashRunResult RunWithCrashAt(std::unique_ptr<Simulation> sim, uint64_t seed,
     }
     if (!crashed && crash_at >= 0 && actions >= crash_at) {
       crashed = true;
-      result.run = Crash(sim.get(), site);
+      result.run = Crash(sim, site);
       if (!result.run.ok()) {
         return result;
       }
-      LetWireRunWhileDown(sim.get(), downtime);
-      result.run = Restart(sim.get(), site);
+      LetWireRunWhileDown(sim, downtime);
+      result.run = Restart(sim, site);
       if (!result.run.ok()) {
         return result;
       }
@@ -130,6 +133,11 @@ CrashRunResult RunWithCrashAt(std::unique_ptr<Simulation> sim, uint64_t seed,
       source_view.ok() && sim->warehouse_view() == *source_view &&
       sim->maintainer().IsQuiescent();
   return result;
+}
+
+CrashRunResult RunWithCrashAt(std::unique_ptr<Simulation> sim, uint64_t seed,
+                              CrashSite site, int crash_at, int downtime) {
+  return RunWithCrashAt(sim.get(), seed, site, crash_at, downtime);
 }
 
 std::unique_ptr<Simulation> MakeCrashSim(Algorithm algorithm, uint64_t seed,
@@ -492,6 +500,103 @@ TEST(CrashRecoveryTest, ReplicaCrashMidCatchUpRejoinsStronglyConsistent) {
     for (int r = 0; r < sim->num_replicas(); ++r) {
       EXPECT_EQ(sim->replica(r).view(), sim->lead().warehouse_view())
           << "seed " << seed << " replica " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Multi-view shared maintenance under crash/restart: three children of
+// mixed algorithms (ECA-Key + two ECA, one a structural twin of the keyed
+// view) behind one warehouse, crashed at every sampled schedule point of
+// both sites, on clean and faulty reliable transports, with dedup on and
+// off. Every run must converge every child to the source truth, and the
+// dedup-on finals must be tuple-for-tuple identical to the dedup-off
+// baseline at the SAME (site, crash point) — shared maintenance may not
+// change what a crash can observe or lose.
+
+struct MultiViewCrashSetup {
+  Workload workload;
+  std::vector<ViewDefinitionPtr> views;
+  std::vector<Update> updates;
+};
+
+MultiViewCrashSetup MakeMultiViewCrashSetup(uint64_t seed) {
+  Random rng(seed);
+  Result<Workload> w = MakeKeyedWorkload({10, 3}, &rng);
+  EXPECT_TRUE(w.ok()) << w.status();
+  Result<std::vector<Update>> updates =
+      MakeMixedUpdates(*w, /*k=*/5, /*delete_fraction=*/0.35, &rng);
+  EXPECT_TRUE(updates.ok()) << updates.status();
+  MultiViewCrashSetup s{std::move(*w), {}, std::move(*updates)};
+  s.views = {
+      s.workload.view,  // EcaKey
+      // Structural twin of the keyed view: exercises cross-child dedup.
+      *ViewDefinition::NaturalJoin("V1", s.workload.defs, {"W", "Y"}),
+      *ViewDefinition::NaturalJoin("V2", s.workload.defs, {"W"}),
+  };
+  return s;
+}
+
+std::unique_ptr<Simulation> MakeMultiViewCrashSim(
+    const MultiViewCrashSetup& s, bool dedup, const SimulationOptions& options,
+    MultiViewWarehouse** multi_out) {
+  std::vector<std::unique_ptr<ViewMaintainer>> children;
+  children.push_back(std::make_unique<EcaKey>(s.views[0]));
+  children.push_back(std::make_unique<Eca>(s.views[1]));
+  children.push_back(std::make_unique<Eca>(s.views[2]));
+  MultiViewOptions mv;
+  mv.dedup = dedup;
+  auto multi = std::make_unique<MultiViewWarehouse>(std::move(children), mv);
+  *multi_out = multi.get();
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      s.workload.initial, s.views[0], std::move(multi), options);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  (*sim)->SetUpdateScript(s.updates);
+  return std::move(*sim);
+}
+
+TEST(MultiViewCrashTest, SharedMaintenanceSurvivesEverySchedulePoint) {
+  constexpr uint64_t kSeed = 9;
+  MultiViewCrashSetup s = MakeMultiViewCrashSetup(kSeed);
+  for (bool faulty : {false, true}) {
+    for (CrashSite site : {CrashSite::kWarehouse, CrashSite::kSource}) {
+      for (int crash_at = 0; crash_at <= 30; crash_at += 5) {
+        SCOPED_TRACE(::testing::Message()
+                     << "faulty=" << faulty << " site="
+                     << static_cast<int>(site) << " at=" << crash_at);
+        std::vector<Relation> baseline;
+        for (bool dedup : {false, true}) {
+          MultiViewWarehouse* multi = nullptr;
+          std::unique_ptr<Simulation> sim = MakeMultiViewCrashSim(
+              s, dedup,
+              RecoveryOptionsFor(kSeed, faulty, /*checkpoint_every=*/2),
+              &multi);
+          ASSERT_NE(multi, nullptr);
+          CrashRunResult r = RunWithCrashAt(sim.get(), kSeed, site, crash_at,
+                                            /*downtime=*/3);
+          ASSERT_TRUE(r.run.ok()) << "dedup=" << dedup << ": " << r.run;
+          EXPECT_TRUE(r.report.strongly_consistent) << "dedup=" << dedup;
+          EXPECT_TRUE(r.converged) << "dedup=" << dedup;
+          std::vector<Relation> finals;
+          for (size_t i = 0; i < s.views.size(); ++i) {
+            Result<Relation> expected =
+                EvaluateView(s.views[i], sim->source_catalog());
+            ASSERT_TRUE(expected.ok()) << expected.status();
+            EXPECT_EQ(multi->child(i).view_contents(), *expected)
+                << "child " << i << " dedup=" << dedup;
+            finals.push_back(multi->child(i).view_contents());
+          }
+          if (!dedup) {
+            baseline = std::move(finals);
+          } else {
+            for (size_t i = 0; i < baseline.size(); ++i) {
+              EXPECT_EQ(finals[i], baseline[i])
+                  << "child " << i
+                  << " diverges under shared maintenance after the crash";
+            }
+          }
+        }
+      }
     }
   }
 }

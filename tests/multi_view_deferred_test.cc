@@ -7,6 +7,7 @@
 #include "core/eca.h"
 #include "core/eca_batch.h"
 #include "core/multi_view.h"
+#include "query/compiled_plan.h"
 #include "test_util.h"
 #include "workload/generator.h"
 
@@ -49,11 +50,15 @@ struct TwoViewFixture {
 };
 
 std::unique_ptr<Simulation> MakeMultiSim(const TwoViewFixture& f,
-                                         MultiViewWarehouse** out) {
+                                         MultiViewWarehouse** out,
+                                         bool dedup = false) {
   std::vector<std::unique_ptr<ViewMaintainer>> children;
   children.push_back(std::make_unique<Eca>(f.v1));
   children.push_back(std::make_unique<Eca>(f.v2));
-  auto multi = std::make_unique<MultiViewWarehouse>(std::move(children));
+  MultiViewOptions mv_options;
+  mv_options.dedup = dedup;
+  auto multi = std::make_unique<MultiViewWarehouse>(std::move(children),
+                                                    mv_options);
   *out = multi.get();
   SimulationOptions options;
   Result<std::unique_ptr<Simulation>> sim =
@@ -148,6 +153,150 @@ TEST_P(MultiViewSweep, BothViewsConvergeUnderRandomInterleavings) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiViewSweep,
                          ::testing::Range<uint64_t>(1, 21));
+
+// --- Shared maintenance (cross-view query dedup) ----------------------------
+
+TEST(MultiViewDedupTest, SharedUpdateMergesQueriesIntoOneMessage) {
+  // r2 is in both views, so one r2 update makes both children query. With
+  // dedup on the two compensating queries ride ONE wire message (the two
+  // views are structurally different, so their terms merge without
+  // deduplicating); with dedup off, two messages as before.
+  for (bool dedup : {false, true}) {
+    TwoViewFixture f = TwoViewFixture::Make();
+    MultiViewWarehouse* multi = nullptr;
+    std::unique_ptr<Simulation> sim = MakeMultiSim(f, &multi, dedup);
+    sim->SetUpdateScript({Update::Insert("r2", Tuple::Ints({2, 7}))});
+    BestCasePolicy policy;
+    ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    EXPECT_EQ(sim->meter().query_messages(), dedup ? 1 : 2);
+    EXPECT_EQ(sim->meter().deduped_query_terms(), 0);
+    EXPECT_TRUE(multi->IsQuiescent());
+    EXPECT_EQ(multi->child(0).view_contents(),
+              *EvaluateView(f.v1, sim->source_catalog()));
+    EXPECT_EQ(multi->child(1).view_contents(),
+              *EvaluateView(f.v2, sim->source_catalog()));
+  }
+}
+
+TEST(MultiViewDedupTest, StructurallyIdenticalViewsShareOneTerm) {
+  // Two children over separately constructed but structurally identical
+  // view definitions: their compensating terms have equal signatures, so
+  // the shared query carries the term ONCE and the saving is metered.
+  TwoViewFixture f = TwoViewFixture::Make();
+  Schema s1 = Schema::Ints({"W", "X"});
+  Schema s2 = Schema::Ints({"X", "Y"});
+  ViewDefinitionPtr v1_twin =
+      *ViewDefinition::NaturalJoin("V1twin", {{"r1", s1}, {"r2", s2}}, {"W"});
+  ASSERT_NE(v1_twin.get(), f.v1.get());
+
+  std::vector<std::unique_ptr<ViewMaintainer>> children;
+  children.push_back(std::make_unique<Eca>(f.v1));
+  children.push_back(std::make_unique<Eca>(v1_twin));
+  MultiViewOptions mv_options;
+  mv_options.dedup = true;
+  auto multi_owner = std::make_unique<MultiViewWarehouse>(std::move(children),
+                                                          mv_options);
+  MultiViewWarehouse* multi = multi_owner.get();
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      f.initial, f.v1, std::move(multi_owner), SimulationOptions());
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  (*sim)->SetUpdateScript({Update::Insert("r1", Tuple::Ints({5, 2}))});
+  BestCasePolicy policy;
+  ASSERT_TRUE(RunToQuiescence(sim->get(), &policy).ok());
+  // One message, one term on the wire, one term saved.
+  EXPECT_EQ((*sim)->meter().query_messages(), 1);
+  EXPECT_EQ((*sim)->meter().query_terms(), 1);
+  EXPECT_EQ((*sim)->meter().deduped_query_terms(), 1);
+  Result<Relation> expected = EvaluateView(f.v1, (*sim)->source_catalog());
+  EXPECT_EQ(multi->child(0).view_contents(), *expected);
+  EXPECT_EQ(multi->child(1).view_contents(), *expected);
+}
+
+// Dedup on vs off must be observationally identical to every child: same
+// final contents, tuple for tuple, across random and adversarial
+// interleavings — the fan-out rebuilds each child's private answer exactly.
+class MultiViewDedupSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiViewDedupSweep, DedupMatchesIndependentBaseline) {
+  const uint64_t seed = GetParam();
+  std::vector<Update> updates;
+  {
+    Random rng(seed);
+    Catalog shadow = TwoViewFixture::Make().initial.Clone();
+    const char* names[] = {"r1", "r2", "r3"};
+    for (int i = 0; i < 10; ++i) {
+      const char* rel = names[rng.Uniform(3)];
+      const Relation* live = shadow.Get(rel).value();
+      Update u;
+      if (!live->IsEmpty() && rng.Bernoulli(1, 3)) {
+        auto it = live->entries().begin();
+        std::advance(it, rng.Uniform(live->NumDistinct()));
+        u = Update::Delete(rel, it->first);
+      } else {
+        u = Update::Insert(rel, Tuple::Ints({rng.UniformRange(0, 6),
+                                             rng.UniformRange(0, 6)}));
+      }
+      ASSERT_TRUE(shadow.Apply(u).ok());
+      updates.push_back(std::move(u));
+    }
+  }
+  for (bool worst_case : {false, true}) {
+    std::vector<Relation> baseline;
+    int64_t baseline_messages = 0;
+    for (bool dedup : {false, true}) {
+      TwoViewFixture f = TwoViewFixture::Make();
+      MultiViewWarehouse* multi = nullptr;
+      std::unique_ptr<Simulation> sim = MakeMultiSim(f, &multi, dedup);
+      sim->SetUpdateScript(updates);
+      if (worst_case) {
+        WorstCasePolicy policy;
+        ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+      } else {
+        RandomPolicy policy(seed * 31);
+        ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+      }
+      ASSERT_TRUE(multi->IsQuiescent());
+      EXPECT_EQ(multi->child(0).view_contents(),
+                *EvaluateView(f.v1, sim->source_catalog()));
+      EXPECT_EQ(multi->child(1).view_contents(),
+                *EvaluateView(f.v2, sim->source_catalog()));
+      if (!dedup) {
+        baseline = {multi->child(0).view_contents(),
+                    multi->child(1).view_contents()};
+        baseline_messages = sim->meter().query_messages();
+      } else {
+        EXPECT_EQ(multi->child(0).view_contents(), baseline[0]);
+        EXPECT_EQ(multi->child(1).view_contents(), baseline[1]);
+        EXPECT_LE(sim->meter().query_messages(), baseline_messages);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiViewDedupSweep,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --- Compiled-plan pre-warm at Initialize -----------------------------------
+
+TEST(SharedPlanPrewarmTest, InitializeCompilesEveryChildMask) {
+  // ViewDefinition::Create pre-warms the empty and single-bound masks; the
+  // multi-view Initialize pre-warms the REST of each child view's masks, so
+  // the maintenance loop (including batch inclusion-exclusion shapes) never
+  // compiles on first touch.
+  ScopedCompiledPlans plans(true);
+  TwoViewFixture f = TwoViewFixture::Make();
+  EXPECT_FALSE(f.v1->HasCompiledPlanFor(0b11));
+  EXPECT_FALSE(f.v2->HasCompiledPlanFor(0b11));
+  std::vector<std::unique_ptr<ViewMaintainer>> children;
+  children.push_back(std::make_unique<Eca>(f.v1));
+  children.push_back(std::make_unique<Eca>(f.v2));
+  MultiViewWarehouse multi(std::move(children));
+  ASSERT_TRUE(multi.Initialize(f.initial).ok());
+  for (uint64_t mask = 0; mask < 4; ++mask) {
+    EXPECT_TRUE(f.v1->HasCompiledPlanFor(mask)) << "v1 mask " << mask;
+    EXPECT_TRUE(f.v2->HasCompiledPlanFor(mask)) << "v2 mask " << mask;
+  }
+}
 
 // --- Deferred / periodic timing ---------------------------------------------
 

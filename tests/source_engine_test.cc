@@ -13,6 +13,9 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "core/eca.h"
+#include "core/multi_view.h"
+#include "query/compiled_plan.h"
 #include "source/source.h"
 #include "source/term_cache.h"
 #include "test_util.h"
@@ -265,6 +268,267 @@ TEST(SourceEngineTest, SimulationsConvergeIdenticallyWithEngineOn) {
       }
     }
   }
+}
+
+// --- Auxiliary-view promotion (TermCacheConfig::promote) --------------------
+
+// Two structurally identical views owned by different objects, querying the
+// same source: the regime where a shared subexpression is hot ACROSS views
+// and promotion pays.
+struct AuxFixture {
+  Catalog initial;
+  ViewDefinitionPtr va;
+  ViewDefinitionPtr vb;
+  Source source;
+
+  static AuxFixture Make(const SourceConfig& config) {
+    Schema s1 = Schema::Ints({"W", "X"});
+    Schema s2 = Schema::Ints({"X", "Y"});
+    Relation r1(s1);
+    Relation r2(s2);
+    for (int64_t t = 0; t < 20; ++t) {
+      r1.Insert(Tuple::Ints({t, t % 4}));
+      r2.Insert(Tuple::Ints({t % 4, t}));
+    }
+    Catalog initial;
+    EXPECT_TRUE(initial.DefineWithData({"r1", s1}, std::move(r1)).ok());
+    EXPECT_TRUE(initial.DefineWithData({"r2", s2}, std::move(r2)).ok());
+    ViewDefinitionPtr va =
+        *ViewDefinition::NaturalJoin("VA", {{"r1", s1}, {"r2", s2}}, {"W"});
+    ViewDefinitionPtr vb =
+        *ViewDefinition::NaturalJoin("VB", {{"r1", s1}, {"r2", s2}}, {"W"});
+    Result<Source> source = Source::Create(initial, config, {});
+    EXPECT_TRUE(source.ok()) << source.status();
+    return AuxFixture{std::move(initial), std::move(va), std::move(vb),
+                      std::move(*source)};
+  }
+};
+
+SourceConfig PromoteOn() {
+  SourceConfig config;
+  config.term_cache.enabled = true;
+  config.term_cache.promote = true;
+  config.term_cache.promote_min_hits = 3;
+  config.term_cache.promote_min_views = 2;
+  config.term_cache.demote_after_updates = 3;
+  return config;
+}
+
+Query ViewTermQuery(const ViewDefinitionPtr& view, const Update& u,
+                    uint64_t id) {
+  auto t = Term::FromView(view).Substitute(u);
+  EXPECT_TRUE(t.has_value());
+  return Query(id, u.id, {*t});
+}
+
+TEST(AuxViewTest, HotCrossViewTermPromotesIntoAuxCatalog) {
+  AuxFixture f = AuxFixture::Make(PromoteOn());
+  const Update u = Update::Insert("r1", Tuple::Ints({50, 1}));
+  // VA fills; alternating VA/VB hits accumulate cross-view stats. The
+  // third hit satisfies hits >= 3 from >= 2 distinct views with zero patch
+  // cost, so the entry graduates.
+  Result<AnswerMessage> first =
+      f.source.EvaluateQuery(ViewTermQuery(f.va, u, 1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.vb, u, 2)).ok());
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.va, u, 3)).ok());
+  EXPECT_EQ(f.source.io_stats().term_cache_promotions, 0);
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.vb, u, 4)).ok());
+  EXPECT_EQ(f.source.io_stats().term_cache_promotions, 1);
+  ASSERT_NE(f.source.term_cache(), nullptr);
+  EXPECT_EQ(f.source.term_cache()->promoted_count(), 1u);
+  EXPECT_TRUE(f.source.term_cache()->aux_catalog().Get("aux1").ok());
+
+  // Serving from the promoted (pinned) entry is metered as an aux hit and
+  // still answers exactly.
+  Result<AnswerMessage> served =
+      f.source.EvaluateQuery(ViewTermQuery(f.vb, u, 5));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(f.source.io_stats().term_cache_aux_hits, 1);
+  ExpectSameAnswer(*served, *first, "aux-served vs fill");
+}
+
+TEST(AuxViewTest, PromotedEntriesArePinnedAgainstLruPressure) {
+  SourceConfig config = PromoteOn();
+  config.term_cache.capacity = 2;
+  AuxFixture f = AuxFixture::Make(config);
+  const Update hot = Update::Insert("r1", Tuple::Ints({50, 1}));
+  uint64_t id = 1;
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.va, hot, id++)).ok());
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.vb, hot, id++)).ok());
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.va, hot, id++)).ok());
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.vb, hot, id++)).ok());
+  ASSERT_EQ(f.source.term_cache()->promoted_count(), 1u);
+  // Churn far more distinct shapes than the capacity: the LRU evicts among
+  // the plain entries only, never the promoted one.
+  for (int64_t w = 0; w < 6; ++w) {
+    const Update cold = Update::Insert("r1", Tuple::Ints({60 + w, 2}));
+    ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.va, cold, id++)).ok());
+  }
+  EXPECT_EQ(f.source.term_cache()->promoted_count(), 1u);
+  EXPECT_EQ(f.source.term_cache()->size(), 3u);  // promoted + 2 LRU slots
+  // The hot entry still serves.
+  ASSERT_TRUE(f.source.EvaluateQuery(ViewTermQuery(f.vb, hot, id++)).ok());
+  EXPECT_GE(f.source.io_stats().term_cache_aux_hits, 1);
+}
+
+TEST(AuxViewTest, ColdPromotedEntryDemotesAndUnregisters) {
+  ScopedCompiledPlans plans(true);
+  AuxFixture f = AuxFixture::Make(PromoteOn());
+  AuxFixture plain = AuxFixture::Make(SourceConfig());
+  const Update u = Update::Insert("r1", Tuple::Ints({50, 1}));
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(f.source
+                    .EvaluateQuery(ViewTermQuery(id % 2 ? f.va : f.vb, u, id))
+                    .ok());
+  }
+  ASSERT_EQ(f.source.term_cache()->promoted_count(), 1u);
+
+  // Patch the promoted view through demote_after_updates = 3 consecutive
+  // updates with no intervening hit; the 4th patching update finds it cold
+  // and demotes it back to a plain LRU entry, unregistering the aux view.
+  for (int64_t i = 0; i < 4; ++i) {
+    const Update w = Update::Insert("r2", Tuple::Ints({1, 100 + i}));
+    ASSERT_TRUE(f.source.ExecuteUpdate(w).ok());
+    ASSERT_TRUE(plain.source.ExecuteUpdate(w).ok());
+  }
+  EXPECT_EQ(f.source.io_stats().term_cache_demotions, 1);
+  EXPECT_EQ(f.source.term_cache()->promoted_count(), 0u);
+  EXPECT_FALSE(f.source.term_cache()->aux_catalog().Get("aux1").ok());
+
+  // Through promotion, patched maintenance, and demotion, the answer is
+  // still exactly the plain source's.
+  Result<AnswerMessage> cached =
+      f.source.EvaluateQuery(ViewTermQuery(f.va, u, 9));
+  Result<AnswerMessage> fresh =
+      plain.source.EvaluateQuery(ViewTermQuery(plain.va, u, 9));
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameAnswer(*cached, *fresh, "post-demotion");
+}
+
+TEST(AuxViewTest, PromotedAnswersMatchPlainSourceUnderChurn) {
+  // Differential under interleaved updates and cross-view queries: the
+  // promoted entry is maintained by compiled delta plans, and every answer
+  // must match the no-caching source bit for bit.
+  ScopedCompiledPlans plans(true);
+  SourceConfig config = PromoteOn();
+  config.term_cache.demote_after_updates = 64;  // keep it promoted
+  AuxFixture on = AuxFixture::Make(config);
+  AuxFixture off = AuxFixture::Make(SourceConfig());
+  const Update hot = Update::Insert("r1", Tuple::Ints({50, 1}));
+  uint64_t id = 1;
+  for (int64_t round = 0; round < 8; ++round) {
+    // r2 holds (t%4, t), so the live X=1 tuples are (1, 4i+1); churn those
+    // for the first rounds, then recycle this loop's own earlier inserts.
+    const int64_t victim = round < 5 ? 4 * round + 1 : 200 + (round - 5);
+    const std::vector<Update> updates = {
+        Update::Insert("r2", Tuple::Ints({1, 200 + round})),
+        Update::Delete("r2", Tuple::Ints({1, victim})),
+    };
+    for (const Update& w : updates) {
+      ASSERT_TRUE(on.source.ExecuteUpdate(w).ok()) << w.ToString();
+      ASSERT_TRUE(off.source.ExecuteUpdate(w).ok());
+    }
+    Result<AnswerMessage> a =
+        on.source.EvaluateQuery(ViewTermQuery(round % 2 ? on.va : on.vb, hot,
+                                              id));
+    Result<AnswerMessage> b = off.source.EvaluateQuery(
+        ViewTermQuery(round % 2 ? off.va : off.vb, hot, id));
+    ++id;
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameAnswer(*a, *b, "round " + std::to_string(round));
+  }
+  EXPECT_EQ(on.source.io_stats().term_cache_promotions, 1);
+  EXPECT_EQ(on.source.io_stats().term_cache_demotions, 0);
+  EXPECT_GT(on.source.io_stats().term_cache_aux_hits, 0);
+}
+
+TEST(AuxViewTest, PerEntryPatchAccountingEvictsUnreadEntries) {
+  // Satellite of the cost-based selector: patch I/O is charged against the
+  // entry that was patched, so an entry that is all maintenance and no
+  // reuse is evicted on ITS OWN accrued cost, while an entry whose hits
+  // keep resetting its window survives the same update stream.
+  EngineFixture f = EngineFixture::Make(EngineOn());
+  const Update kept_u = Update::Insert("r1", Tuple::Ints({42, 3}));
+  const Update dropped_u = Update::Insert("r1", Tuple::Ints({43, 3}));
+  ASSERT_TRUE(
+      f.source.EvaluateQuery(OneTermQuery(f.workload, kept_u, 1)).ok());
+  ASSERT_TRUE(
+      f.source.EvaluateQuery(OneTermQuery(f.workload, dropped_u, 2)).ok());
+  ASSERT_EQ(f.source.term_cache()->size(), 2u);
+  uint64_t id = 3;
+  for (int64_t i = 0; i < 8; ++i) {
+    // Joining r2 inserts patch both entries (X = 3 matches both bound
+    // tuples); only the kept entry is re-read between updates.
+    ASSERT_TRUE(f.source
+                    .ExecuteUpdate(Update::Insert("r2",
+                                                  Tuple::Ints({3, 100 + i})))
+                    .ok());
+    ASSERT_TRUE(
+        f.source.EvaluateQuery(OneTermQuery(f.workload, kept_u, id++)).ok());
+  }
+  EXPECT_GE(f.source.io_stats().term_cache_evictions, 1);
+  EXPECT_EQ(f.source.term_cache()->size(), 1u);
+  // The kept entry is still cached (hit), the dropped one recomputes.
+  const int64_t hits_before = f.source.io_stats().term_cache_hits;
+  ASSERT_TRUE(
+      f.source.EvaluateQuery(OneTermQuery(f.workload, kept_u, id++)).ok());
+  EXPECT_EQ(f.source.io_stats().term_cache_hits, hits_before + 1);
+  const int64_t misses_before = f.source.io_stats().term_cache_misses;
+  ASSERT_TRUE(
+      f.source.EvaluateQuery(OneTermQuery(f.workload, dropped_u, id++)).ok());
+  EXPECT_EQ(f.source.io_stats().term_cache_misses, misses_before + 1);
+}
+
+TEST(AuxViewTest, MultiViewSimulationConvergesWithPromotionOn) {
+  // End to end: two structurally identical children querying through one
+  // warehouse, churn updates repeating term shapes, promotion enabled at
+  // the source. Views stay correct and the shared subexpression promotes.
+  Schema s1 = Schema::Ints({"W", "X"});
+  Schema s2 = Schema::Ints({"X", "Y"});
+  Schema s3 = Schema::Ints({"Y", "Z"});
+  Catalog initial;
+  Relation r1(s1), r2(s2), r3(s3);
+  for (int64_t t = 0; t < 12; ++t) {
+    r1.Insert(Tuple::Ints({t, t % 3}));
+    r2.Insert(Tuple::Ints({t % 3, t}));
+    r3.Insert(Tuple::Ints({t, t % 3}));
+  }
+  ASSERT_TRUE(initial.DefineWithData({"r1", s1}, std::move(r1)).ok());
+  ASSERT_TRUE(initial.DefineWithData({"r2", s2}, std::move(r2)).ok());
+  ASSERT_TRUE(initial.DefineWithData({"r3", s3}, std::move(r3)).ok());
+  ViewDefinitionPtr va =
+      *ViewDefinition::NaturalJoin("VA", {{"r1", s1}, {"r2", s2}}, {"W"});
+  ViewDefinitionPtr vb =
+      *ViewDefinition::NaturalJoin("VB", {{"r1", s1}, {"r2", s2}}, {"W"});
+
+  std::vector<std::unique_ptr<ViewMaintainer>> children;
+  children.push_back(std::make_unique<Eca>(va));
+  children.push_back(std::make_unique<Eca>(vb));
+  auto multi_owner =
+      std::make_unique<MultiViewWarehouse>(std::move(children));
+  MultiViewWarehouse* multi = multi_owner.get();
+  SimulationOptions options;
+  options.term_cache = PromoteOn().term_cache;
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      initial, va, std::move(multi_owner), options);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  // Churn a hot r1 tuple so both children keep asking for the same shape.
+  std::vector<Update> script;
+  for (int i = 0; i < 6; ++i) {
+    script.push_back(i % 2 == 0 ? Update::Insert("r1", Tuple::Ints({50, 1}))
+                                : Update::Delete("r1", Tuple::Ints({50, 1})));
+  }
+  (*sim)->SetUpdateScript(script);
+  RandomPolicy policy(23);
+  ASSERT_TRUE(RunToQuiescence(sim->get(), &policy).ok());
+  Result<Relation> expected = EvaluateView(va, (*sim)->source_catalog());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(multi->child(0).view_contents(), *expected);
+  EXPECT_EQ(multi->child(1).view_contents(), *expected);
+  EXPECT_GT((*sim)->io_stats().term_cache_promotions, 0);
 }
 
 TEST(SourceEngineThreadedTest, ParallelBatchMatchesSerialMetersExactly) {

@@ -1,0 +1,193 @@
+// Self-maintenance: answering updates without querying the source.
+// The paper's Section 7 points at auxiliary data ("store copies of the
+// base relations") as the way to make a warehouse self-maintainable; this
+// bench prices the middle ground the SchemaConstraints API unlocks —
+// constraint proofs need NO auxiliary state, pruned complements need only
+// the referenced dimension rows — against ECA and ECA-Key on the same
+// streams:
+//
+//   1. the key/FK star (orders -> parts -> suppliers): message count M,
+//      warehouse->source queries, bytes B, source I/O, the fraction of
+//      updates answered locally, and staleness coverage/lag;
+//   2. the keyed two-relation workload (keys, no FKs): full complements
+//      still answer everything locally — at the price of mirroring the
+//      base relations;
+//   3. the ablation: complements off leaves only the constraint proofs
+//      and view-side key deletes.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace wvm::bench {
+namespace {
+
+constexpr int kSeeds = 10;
+
+struct Cell {
+  std::string label;
+  CaseConfig config;
+};
+
+// Averages RunCase over seeds; every run must stay strongly consistent.
+struct Averaged {
+  double messages = 0;
+  double queries = 0;
+  double bytes = 0;
+  double io = 0;
+  double local_rate = 0;
+  double constraint_empty = 0;
+  double aux_rows = 0;
+  double coverage = 0;
+  double mean_lag = 0;
+  double wall_seconds = 0;
+  bool strongly_consistent = true;
+};
+
+Averaged RunAveraged(const CaseConfig& base) {
+  Averaged avg;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    CaseConfig config = base;
+    config.seed = static_cast<uint64_t>(seed) * 101 + 7;
+    Result<CaseResult> r = RunCase(config);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      avg.strongly_consistent = false;
+      return avg;
+    }
+    avg.messages += static_cast<double>(r->messages) / kSeeds;
+    avg.queries += static_cast<double>(r->query_messages) / kSeeds;
+    avg.bytes += static_cast<double>(r->bytes) / kSeeds;
+    avg.io += static_cast<double>(r->io) / kSeeds;
+    avg.local_rate += r->local_rate / kSeeds;
+    avg.constraint_empty +=
+        static_cast<double>(r->constraint_empty_updates) / kSeeds;
+    avg.aux_rows += static_cast<double>(r->aux_rows) / kSeeds;
+    avg.coverage += r->staleness_coverage / kSeeds;
+    avg.mean_lag += r->staleness_mean_lag / kSeeds;
+    avg.wall_seconds += r->wall_seconds / kSeeds;
+    avg.strongly_consistent =
+        avg.strongly_consistent && r->strongly_consistent;
+  }
+  return avg;
+}
+
+void PrintComparison(const std::string& title, const std::string& json_prefix,
+                     const std::vector<Cell>& cells, JsonReport* report) {
+  PrintTableHeader(title, {"algorithm", "M", "queries", "B", "io", "local%",
+                           "aux rows", "coverage%", "mean lag", "strong"});
+  for (const Cell& cell : cells) {
+    Averaged a = RunAveraged(cell.config);
+    PrintTableRow({cell.label, Num(a.messages), Num(a.queries), Num(a.bytes),
+                   Num(a.io), Num(100.0 * a.local_rate), Num(a.aux_rows),
+                   Num(100.0 * a.coverage), Num(a.mean_lag),
+                   a.strongly_consistent ? "yes" : "NO"});
+    report->Begin(json_prefix + "/" + cell.label);
+    report->Metric("messages", a.messages);
+    report->Metric("query_messages", a.queries);
+    report->Metric("bytes", a.bytes);
+    report->Metric("io", a.io);
+    report->Metric("local_rate", a.local_rate);
+    report->Metric("constraint_empty_updates", a.constraint_empty);
+    report->Metric("aux_rows", a.aux_rows);
+    report->Metric("staleness_coverage", a.coverage);
+    report->Metric("staleness_mean_lag", a.mean_lag);
+    report->Metric("wall_seconds", a.wall_seconds);
+    report->Metric("strongly_consistent",
+                   static_cast<int64_t>(a.strongly_consistent ? 1 : 0));
+  }
+}
+
+CaseConfig StarConfig(Algorithm algorithm) {
+  CaseConfig config;
+  config.algorithm = algorithm;
+  config.fk_star_workload = true;
+  config.cardinality = 96;  // orders; parts=24, suppliers=8
+  config.cold_parts = 2;
+  config.k = 40;
+  config.order = Order::kRandom;
+  return config;
+}
+
+CaseConfig KeyedConfig(Algorithm algorithm) {
+  CaseConfig config;
+  config.algorithm = algorithm;
+  config.keyed_workload = true;
+  config.cardinality = 48;
+  config.join_factor = 3;
+  config.k = 24;
+  config.stream = Stream::kMixed;
+  config.order = Order::kRandom;
+  return config;
+}
+
+}  // namespace
+
+void PrintFigure(JsonReport* report) {
+  // 1. Key/FK star: constraints do the heavy lifting — dimension churn is
+  // proven empty outright, order traffic resolves against the pruned
+  // dimension complements, and only cold-part references query the source.
+  CaseConfig no_complements = StarConfig(Algorithm::kSelfMaintain);
+  no_complements.self_maintain.complements = false;
+  PrintComparison(
+      "Key/FK star, k=40 integrity-preserving updates, random order, avg "
+      "of " + std::to_string(kSeeds) + " seeds",
+      "fk_star",
+      {{"eca", StarConfig(Algorithm::kEca)},
+       {"eca-key", StarConfig(Algorithm::kEcaKey)},
+       {"self-maint", StarConfig(Algorithm::kSelfMaintain)},
+       {"self-maint-noaux", no_complements}},
+      report);
+  std::cout << "(self-maint keeps only the referenced dimension rows as "
+               "auxiliary state and answers\n nearly every update locally; "
+               "the no-complement ablation still zeroes dimension churn\n "
+               "via the constraint proofs but ships order inserts)\n";
+
+  // 2. Keys without FKs: nothing is provably empty, so locality costs a
+  // full mirror of the base relations (the Section 7 store-copies bound).
+  PrintComparison(
+      "Keyed 2-relation workload, k=24 mixed updates, random order, avg "
+      "of " + std::to_string(kSeeds) + " seeds",
+      "keyed",
+      {{"eca", KeyedConfig(Algorithm::kEca)},
+       {"eca-key", KeyedConfig(Algorithm::kEcaKey)},
+       {"self-maint", KeyedConfig(Algorithm::kSelfMaintain)}},
+      report);
+  std::cout << "(without declared FKs the complements degrade to full base "
+               "mirrors — local answers\n remain total but aux rows track "
+               "the base cardinality)\n";
+}
+
+namespace {
+
+void BM_SelfMaintenance(benchmark::State& state) {
+  const auto algorithm = static_cast<Algorithm>(state.range(0));
+  for (auto _ : state) {
+    Result<CaseResult> r = RunCase(StarConfig(algorithm));
+    benchmark::DoNotOptimize(r);
+    if (r.ok()) {
+      state.counters["local_rate"] = r->local_rate;
+      state.counters["query_messages"] =
+          static_cast<double>(r->query_messages);
+    }
+  }
+}
+BENCHMARK(BM_SelfMaintenance)
+    ->ArgNames({"algorithm"})
+    ->Arg(static_cast<int>(Algorithm::kEca))
+    ->Arg(static_cast<int>(Algorithm::kSelfMaintain));
+
+}  // namespace
+}  // namespace wvm::bench
+
+int main(int argc, char** argv) {
+  wvm::bench::JsonReport report;
+  wvm::bench::PrintFigure(&report);
+  report.WriteFileFromEnv();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

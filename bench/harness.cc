@@ -19,7 +19,14 @@ namespace wvm::bench {
 Result<CaseResult> RunCase(const CaseConfig& config) {
   Random rng(config.seed);
   Workload workload;
-  if (config.keyed_workload) {
+  if (config.fk_star_workload) {
+    FkStarConfig star;
+    star.orders = config.cardinality;
+    star.parts = std::max<int64_t>(4, config.cardinality / 4);
+    star.suppliers = std::max<int64_t>(2, config.cardinality / 12);
+    star.cold_parts = std::min(config.cold_parts, star.parts / 2);
+    WVM_ASSIGN_OR_RETURN(workload, MakeFkStarWorkload(star, &rng));
+  } else if (config.keyed_workload) {
     WVM_ASSIGN_OR_RETURN(
         workload,
         MakeKeyedWorkload({config.cardinality, config.join_factor}, &rng));
@@ -30,7 +37,11 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   }
 
   std::vector<Update> updates;
-  switch (config.stream) {
+  if (config.fk_star_workload) {
+    WVM_ASSIGN_OR_RETURN(updates,
+                         MakeFkStarUpdates(workload, config.k, &rng));
+  } else {
+    switch (config.stream) {
     case Stream::kRoundRobinInserts: {
       WVM_ASSIGN_OR_RETURN(updates,
                            MakeRoundRobinInserts(workload, config.k, &rng));
@@ -52,6 +63,7 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
           MakeChurnUpdates(workload, config.k, config.churn_pool, &rng));
       break;
     }
+    }
   }
 
   SimulationOptions options;
@@ -62,15 +74,18 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   options.physical.optimize_terms = config.optimize_terms;
   options.batch_size = config.batch_size;
   options.term_cache = config.term_cache;
-  options.parallel_source_answers = config.parallel_source_answers;
+  options.engine.parallel_answers = config.parallel_source_answers;
   options.fault = config.fault;
   if (config.scenario == PhysicalScenario::kIndexedMemory) {
     options.indexes = workload.scenario1_indexes;
   }
 
-  WVM_ASSIGN_OR_RETURN(
-      std::unique_ptr<ViewMaintainer> maintainer,
-      MakeMaintainer(config.algorithm, workload.view, config.rv_period));
+  MaintainerSpec spec;
+  spec.algorithm = config.algorithm;
+  spec.rv_period = config.rv_period;
+  spec.self_maintain = config.self_maintain;
+  WVM_ASSIGN_OR_RETURN(std::unique_ptr<ViewMaintainer> maintainer,
+                       MakeMaintainer(spec, workload.view));
   WVM_ASSIGN_OR_RETURN(
       std::unique_ptr<Simulation> sim,
       Simulation::Create(workload.initial, workload.view,
@@ -124,6 +139,17 @@ Result<CaseResult> RunCase(const CaseConfig& config) {
   result.term_cache_evictions = sim->io_stats().term_cache_evictions;
   result.term_cache_patch_reads = sim->io_stats().term_cache_patch_reads;
   result.wall_seconds = run_elapsed.count();
+  result.query_messages = sim->meter().query_messages();
+  if (const auto* sm =
+          dynamic_cast<const SelfMaintainer*>(&sim->maintainer())) {
+    result.local_updates = sm->local_updates();
+    result.remote_updates = sm->remote_updates();
+    result.constraint_empty_updates = sm->constraint_empty_updates();
+    result.aux_rows = sm->aux_rows();
+    const int64_t total = sm->local_updates() + sm->remote_updates();
+    result.local_rate =
+        total > 0 ? static_cast<double>(sm->local_updates()) / total : 0.0;
+  }
   return result;
 }
 

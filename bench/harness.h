@@ -60,6 +60,17 @@ struct CaseConfig {
   /// Use the two-relation keyed workload (required by ECA-Key) instead of
   /// Example 6.
   bool keyed_workload = false;
+  /// Use the key/FK star workload (orders -> parts -> suppliers) with the
+  /// integrity-preserving fk-star update stream — `stream` is ignored.
+  /// `cardinality` sets the orders count; dimensions scale with it. This
+  /// is the workload SelfMaintainer's decision procedure feeds on.
+  bool fk_star_workload = false;
+  /// Parts with no referencing order at init (fk-star only): each is a row
+  /// self-maintenance cannot prove locally, forcing a source fallback when
+  /// an update reaches for it.
+  int64_t cold_parts = 2;
+  /// Options for Algorithm::kSelfMaintain (complements + pruning).
+  SelfMaintainOptions self_maintain;
   /// Transport fault schedule (src/transport); off by default, so every
   /// pre-existing bench cell is byte-identical to the fault-free system.
   FaultConfig fault;
@@ -95,6 +106,19 @@ struct CaseResult {
   /// Wall-clock seconds of the simulation run itself (excludes workload
   /// generation and setup).
   double wall_seconds = 0;
+  /// Warehouse-to-source queries (subset of `messages`): the traffic
+  /// self-maintenance exists to eliminate.
+  int64_t query_messages = 0;
+  /// Self-maintenance meters (all zero unless the maintainer is a
+  /// SelfMaintainer): updates answered with no source round-trip, updates
+  /// that shipped a query, the constraint-proven-empty subset, and the
+  /// auxiliary complement footprint in rows.
+  int64_t local_updates = 0;
+  int64_t remote_updates = 0;
+  int64_t constraint_empty_updates = 0;
+  int64_t aux_rows = 0;
+  /// local_updates / (local + remote); 0 when neither counter moved.
+  double local_rate = 0;
 };
 
 /// Builds the Example 6 workload, runs the configured case to quiescence,

@@ -24,7 +24,7 @@ Relation Replay(const PaperExample& ex, const std::string& algorithm) {
       MakeMaintainer(*parsed, ex.view);
   WVM_CHECK_OK(maintainer.status());
   SimulationOptions options;
-  options.record_trace = true;
+  options.instrument.record_trace = true;
   Result<std::unique_ptr<Simulation>> sim =
       Simulation::Create(ex.initial, ex.view, std::move(*maintainer),
                          options);

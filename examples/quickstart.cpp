@@ -40,7 +40,7 @@ int main() {
 
   // --- 3. Assemble the simulated warehouse system ---------------------------
   SimulationOptions options;
-  options.record_trace = true;
+  options.instrument.record_trace = true;
   Result<std::unique_ptr<ViewMaintainer>> eca =
       MakeMaintainer(Algorithm::kEca, *view);
   WVM_CHECK_OK(eca.status());

@@ -5,11 +5,14 @@
 namespace wvm {
 
 Status EcaKey::Initialize(const Catalog& initial_source_state) {
-  if (!view_->HasAllBaseKeys()) {
+  // The key condition comes from the declared SchemaConstraints: every base
+  // relation needs a KeySpec whose attributes the projection retains.
+  if (!view_->KeysProjected()) {
     return Status::FailedPrecondition(
         StrCat("view ", view_->name(),
-               " does not retain a key of every base relation; "
-               "ECA-Key is inapplicable (Section 5.4)"));
+               " does not retain a declared key of every base relation "
+               "(constraints: ", view_->constraints().ToString(),
+               "); ECA-Key is inapplicable (Section 5.4)"));
   }
   WVM_RETURN_IF_ERROR(ViewMaintainer::Initialize(initial_source_state));
   collect_ = mv_;  // working copy, NOT the empty set

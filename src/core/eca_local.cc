@@ -9,7 +9,7 @@ Status EcaLocal::Initialize(const Catalog& initial_source_state) {
 }
 
 bool EcaLocal::IsLocalDelete(const Update& u) const {
-  return u.kind == UpdateKind::kDelete && view_->HasAllBaseKeys();
+  return u.kind == UpdateKind::kDelete && view_->KeysProjected();
 }
 
 Status EcaLocal::OnUpdate(const Update& u, WarehouseContext* ctx) {

@@ -34,6 +34,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "sc";
     case Algorithm::kEcaBatch:
       return "eca-batch";
+    case Algorithm::kSelfMaintain:
+      return "self-maint";
   }
   return "unknown";
 }
@@ -43,13 +45,13 @@ std::vector<Algorithm> AllAlgorithms() {
           Algorithm::kEcaNoCompensation, Algorithm::kEcaNoCollect,
           Algorithm::kEcaKey,       Algorithm::kEcaLocal,
           Algorithm::kLca,          Algorithm::kRv,
-          Algorithm::kSc,           Algorithm::kEcaBatch};
+          Algorithm::kSc,           Algorithm::kEcaBatch,
+          Algorithm::kSelfMaintain};
 }
 
-Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(Algorithm algorithm,
-                                                       ViewDefinitionPtr view,
-                                                       int rv_period) {
-  switch (algorithm) {
+Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(
+    const MaintainerSpec& spec, ViewDefinitionPtr view) {
+  switch (spec.algorithm) {
     case Algorithm::kBasic:
       return std::unique_ptr<ViewMaintainer>(
           std::make_unique<BasicIncremental>(std::move(view)));
@@ -79,15 +81,28 @@ Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(Algorithm algorithm,
           std::make_unique<Lca>(std::move(view)));
     case Algorithm::kRv:
       return std::unique_ptr<ViewMaintainer>(
-          std::make_unique<RecomputeView>(std::move(view), rv_period));
+          std::make_unique<RecomputeView>(std::move(view), spec.rv_period));
     case Algorithm::kSc:
       return std::unique_ptr<ViewMaintainer>(
           std::make_unique<StoreCopies>(std::move(view)));
     case Algorithm::kEcaBatch:
       return std::unique_ptr<ViewMaintainer>(
           std::make_unique<EcaBatch>(std::move(view)));
+    case Algorithm::kSelfMaintain:
+      return std::unique_ptr<ViewMaintainer>(
+          std::make_unique<SelfMaintainer>(std::move(view),
+                                           spec.self_maintain));
   }
   return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(Algorithm algorithm,
+                                                       ViewDefinitionPtr view,
+                                                       int rv_period) {
+  MaintainerSpec spec;
+  spec.algorithm = algorithm;
+  spec.rv_period = rv_period;
+  return MakeMaintainer(spec, std::move(view));
 }
 
 Result<Algorithm> ParseAlgorithm(const std::string& name) {

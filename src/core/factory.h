@@ -5,13 +5,15 @@
 #include <string>
 #include <vector>
 
+#include "core/self_maintain.h"
 #include "core/warehouse.h"
 
 namespace wvm {
 
 /// Every maintenance strategy in the repository: the paper's contribution
 /// (the ECA family), its baselines (basic, RV, SC), the complete variant
-/// (LCA), the two ablations of ECA, and the Section 7 batching extension.
+/// (LCA), the two ablations of ECA, the Section 7 batching extension, and
+/// the constraint-driven self-maintainer.
 enum class Algorithm {
   kBasic,
   kEca,
@@ -23,6 +25,7 @@ enum class Algorithm {
   kRv,
   kSc,
   kEcaBatch,
+  kSelfMaintain,       // ECA + local answers proven by SchemaConstraints
 };
 
 const char* AlgorithmName(Algorithm algorithm);
@@ -30,8 +33,21 @@ const char* AlgorithmName(Algorithm algorithm);
 /// All algorithms, in the order above.
 std::vector<Algorithm> AllAlgorithms();
 
-/// Instantiates a maintainer. `rv_period` is RV's recomputation period s
-/// (ignored by the others).
+/// Declarative maintainer construction: the policy plus every per-policy
+/// knob in one value. The view's SchemaConstraints travel inside the
+/// ViewDefinition itself, so a spec fully determines the maintainer.
+struct MaintainerSpec {
+  Algorithm algorithm = Algorithm::kEca;
+  /// RV's recomputation period s (ignored by the others).
+  int rv_period = 1;
+  /// kSelfMaintain's decision-procedure knobs (ignored by the others).
+  SelfMaintainOptions self_maintain;
+};
+
+Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(
+    const MaintainerSpec& spec, ViewDefinitionPtr view);
+
+/// Legacy shim over the spec-based overload.
 Result<std::unique_ptr<ViewMaintainer>> MakeMaintainer(Algorithm algorithm,
                                                        ViewDefinitionPtr view,
                                                        int rv_period = 1);

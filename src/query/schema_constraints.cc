@@ -1,0 +1,176 @@
+#include "query/schema_constraints.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace wvm {
+
+namespace {
+
+const BaseRelationDef* FindRelation(
+    const std::vector<BaseRelationDef>& relations, const std::string& name) {
+  for (const BaseRelationDef& r : relations) {
+    if (r.name == name) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SchemaConstraints SchemaConstraints::FromSchemas(
+    const std::vector<BaseRelationDef>& relations) {
+  SchemaConstraints constraints;
+  for (const BaseRelationDef& r : relations) {
+    std::vector<std::string> key_attrs = r.schema.KeyAttributeNames();
+    if (!key_attrs.empty()) {
+      (void)constraints.DeclareKey(KeySpec{r.name, std::move(key_attrs)});
+    }
+  }
+  return constraints;
+}
+
+Status SchemaConstraints::DeclareKey(KeySpec key) {
+  if (key.attrs.empty()) {
+    return Status::InvalidArgument(
+        StrCat("key of relation '", key.relation, "' has no attributes"));
+  }
+  std::set<std::string> distinct(key.attrs.begin(), key.attrs.end());
+  if (distinct.size() != key.attrs.size()) {
+    return Status::InvalidArgument(
+        StrCat("key of relation '", key.relation,
+               "' lists an attribute twice"));
+  }
+  if (KeyOf(key.relation) != nullptr) {
+    return Status::InvalidArgument(
+        StrCat("relation '", key.relation, "' already has a declared key"));
+  }
+  keys_.push_back(std::move(key));
+  return Status::OK();
+}
+
+Status SchemaConstraints::DeclareForeignKey(ForeignKeySpec fk) {
+  if (fk.attrs.empty() || fk.attrs.size() != fk.ref_attrs.size()) {
+    return Status::InvalidArgument(
+        StrCat("foreign key ", fk.relation, " -> ", fk.ref_relation,
+               " must pair a non-empty attribute list with an equally long "
+               "referenced list"));
+  }
+  if (fk.relation == fk.ref_relation) {
+    return Status::InvalidArgument(
+        StrCat("foreign key on '", fk.relation,
+               "' references its own relation; the paper's views join "
+               "distinct relations"));
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+const KeySpec* SchemaConstraints::KeyOf(const std::string& relation) const {
+  for (const KeySpec& k : keys_) {
+    if (k.relation == relation) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const ForeignKeySpec*> SchemaConstraints::ForeignKeysFrom(
+    const std::string& relation) const {
+  std::vector<const ForeignKeySpec*> out;
+  for (const ForeignKeySpec& fk : foreign_keys_) {
+    if (fk.relation == relation) {
+      out.push_back(&fk);
+    }
+  }
+  return out;
+}
+
+std::vector<const ForeignKeySpec*> SchemaConstraints::ForeignKeysInto(
+    const std::string& relation) const {
+  std::vector<const ForeignKeySpec*> out;
+  for (const ForeignKeySpec& fk : foreign_keys_) {
+    if (fk.ref_relation == relation) {
+      out.push_back(&fk);
+    }
+  }
+  return out;
+}
+
+Status SchemaConstraints::Validate(
+    const std::vector<BaseRelationDef>& relations) const {
+  for (const KeySpec& k : keys_) {
+    const BaseRelationDef* rel = FindRelation(relations, k.relation);
+    if (rel == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("key declared on unknown relation '", k.relation, "'"));
+    }
+    for (const std::string& a : k.attrs) {
+      if (!rel->schema.IndexOf(a).has_value()) {
+        return Status::InvalidArgument(
+            StrCat("key attribute '", a, "' not in relation '", k.relation,
+                   "' (schema ", rel->schema.ToString(), ")"));
+      }
+    }
+  }
+  for (const ForeignKeySpec& fk : foreign_keys_) {
+    const BaseRelationDef* from = FindRelation(relations, fk.relation);
+    const BaseRelationDef* to = FindRelation(relations, fk.ref_relation);
+    if (from == nullptr || to == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("foreign key ", fk.relation, " -> ", fk.ref_relation,
+                 " names an unknown relation"));
+    }
+    for (size_t i = 0; i < fk.attrs.size(); ++i) {
+      std::optional<size_t> fi = from->schema.IndexOf(fk.attrs[i]);
+      std::optional<size_t> ti = to->schema.IndexOf(fk.ref_attrs[i]);
+      if (!fi.has_value() || !ti.has_value()) {
+        return Status::InvalidArgument(
+            StrCat("foreign key ", fk.relation, ".", fk.attrs[i], " -> ",
+                   fk.ref_relation, ".", fk.ref_attrs[i],
+                   " names an unknown attribute"));
+      }
+      if (from->schema.attribute(*fi).type != to->schema.attribute(*ti).type) {
+        return Status::InvalidArgument(
+            StrCat("foreign key ", fk.relation, ".", fk.attrs[i], " -> ",
+                   fk.ref_relation, ".", fk.ref_attrs[i],
+                   " pairs attributes of different types"));
+      }
+    }
+    const KeySpec* target_key = KeyOf(fk.ref_relation);
+    if (target_key == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("foreign key into '", fk.ref_relation,
+                 "', which has no declared key"));
+    }
+    std::vector<std::string> referenced = fk.ref_attrs;
+    std::vector<std::string> key_attrs = target_key->attrs;
+    std::sort(referenced.begin(), referenced.end());
+    std::sort(key_attrs.begin(), key_attrs.end());
+    if (referenced != key_attrs) {
+      return Status::InvalidArgument(
+          StrCat("foreign key ", fk.relation, " -> ", fk.ref_relation,
+                 " must reference exactly the declared key of '",
+                 fk.ref_relation, "'"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string SchemaConstraints::ToString() const {
+  std::vector<std::string> parts;
+  for (const KeySpec& k : keys_) {
+    parts.push_back(StrCat("key(", k.relation, ": ", Join(k.attrs, ","), ")"));
+  }
+  for (const ForeignKeySpec& fk : foreign_keys_) {
+    parts.push_back(StrCat("fk(", fk.relation, ".", Join(fk.attrs, ","),
+                           " -> ", fk.ref_relation, ".",
+                           Join(fk.ref_attrs, ","), ")"));
+  }
+  return parts.empty() ? "none" : Join(parts, "; ");
+}
+
+}  // namespace wvm

@@ -36,6 +36,15 @@ std::string QualifiedName(const std::vector<BaseRelationDef>& relations,
 Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
     std::string name, std::vector<BaseRelationDef> relations,
     std::vector<std::string> projection, Predicate cond) {
+  SchemaConstraints derived = SchemaConstraints::FromSchemas(relations);
+  return Create(std::move(name), std::move(relations), std::move(projection),
+                std::move(cond), std::move(derived));
+}
+
+Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
+    std::string name, std::vector<BaseRelationDef> relations,
+    std::vector<std::string> projection, Predicate cond,
+    SchemaConstraints constraints) {
   if (relations.empty()) {
     return Status::InvalidArgument("view must have at least one relation");
   }
@@ -52,10 +61,14 @@ Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
     }
   }
 
+  WVM_RETURN_IF_ERROR(constraints.Validate(relations));
+
   auto view = std::shared_ptr<ViewDefinition>(new ViewDefinition());
   view->name_ = std::move(name);
   view->relations_ = std::move(relations);
   view->cond_ = std::move(cond);
+  view->constraints_ =
+      std::make_shared<const SchemaConstraints>(std::move(constraints));
 
   // Combined schema with collision-qualified names.
   std::vector<Attribute> combined;
@@ -79,29 +92,27 @@ Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::Create(
   WVM_ASSIGN_OR_RETURN(view->bound_cond_,
                        view->cond_.Bind(view->combined_schema_));
 
-  // Key coverage (applicability of ECA-Key).
-  view->has_all_base_keys_ = true;
-  for (const BaseRelationDef& r : view->relations_) {
-    bool has_key_attr = false;
-    for (const Attribute& a : r.schema.attributes()) {
-      if (!a.is_key) {
-        continue;
-      }
-      has_key_attr = true;
-      std::string qualified = QualifiedName(view->relations_, r.name, a.name);
-      std::optional<size_t> combined_index =
-          view->combined_schema_.IndexOf(qualified);
+  // Key coverage (applicability of ECA-Key / view-side key-deletes): every
+  // base relation has a declared key whose attributes all survive the
+  // projection.
+  view->keys_projected_ = true;
+  for (size_t ri = 0; ri < view->relations_.size(); ++ri) {
+    const BaseRelationDef& r = view->relations_[ri];
+    const KeySpec* key = view->constraints_->KeyOf(r.name);
+    if (key == nullptr) {
+      view->keys_projected_ = false;
+      continue;
+    }
+    for (const std::string& attr : key->attrs) {
+      std::optional<size_t> in_schema = r.schema.IndexOf(attr);
+      size_t combined_index = view->relation_offsets_[ri] + *in_schema;
       bool projected =
-          combined_index.has_value() &&
           std::find(view->projection_indices_.begin(),
                     view->projection_indices_.end(),
-                    *combined_index) != view->projection_indices_.end();
+                    combined_index) != view->projection_indices_.end();
       if (!projected) {
-        view->has_all_base_keys_ = false;
+        view->keys_projected_ = false;
       }
-    }
-    if (!has_key_attr) {
-      view->has_all_base_keys_ = false;
     }
   }
 
@@ -204,6 +215,16 @@ uint64_t ViewDefinition::compiled_plan_epoch() const {
 Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::NaturalJoin(
     std::string name, std::vector<BaseRelationDef> relations,
     std::vector<std::string> projection, Predicate extra_cond) {
+  SchemaConstraints derived = SchemaConstraints::FromSchemas(relations);
+  return NaturalJoin(std::move(name), std::move(relations),
+                     std::move(projection), std::move(extra_cond),
+                     std::move(derived));
+}
+
+Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::NaturalJoin(
+    std::string name, std::vector<BaseRelationDef> relations,
+    std::vector<std::string> projection, Predicate extra_cond,
+    SchemaConstraints constraints) {
   // Gather every attribute name and the relations that declare it.
   std::map<std::string, std::vector<std::string>> owners;  // attr -> rels
   for (const BaseRelationDef& r : relations) {
@@ -234,7 +255,7 @@ Result<std::shared_ptr<const ViewDefinition>> ViewDefinition::NaturalJoin(
   }
 
   return Create(std::move(name), std::move(relations), std::move(projection),
-                std::move(cond));
+                std::move(cond), std::move(constraints));
 }
 
 Result<size_t> ViewDefinition::RelationIndex(const std::string& name) const {
@@ -257,30 +278,39 @@ Result<std::vector<std::pair<size_t, Value>>> ViewDefinition::KeyConstraintsFor(
                u.tuple.size(), ", relation ", rel.name, " expects ",
                rel.schema.size()));
   }
+  const KeySpec* key = constraints_->KeyOf(rel.name);
+  if (key == nullptr) {
+    return Status::FailedPrecondition(
+        StrCat("relation ", rel.name,
+               " has no declared key; ECA-Key inapplicable"));
+  }
   std::vector<std::pair<size_t, Value>> constraints;
-  for (size_t a = 0; a < rel.schema.size(); ++a) {
-    if (!rel.schema.attribute(a).is_key) {
-      continue;
-    }
-    size_t combined_index = relation_offsets_[ri] + a;
+  for (const std::string& attr : key->attrs) {
+    std::optional<size_t> a = rel.schema.IndexOf(attr);
+    size_t combined_index = relation_offsets_[ri] + *a;
     auto it = std::find(projection_indices_.begin(),
                         projection_indices_.end(), combined_index);
     if (it == projection_indices_.end()) {
       return Status::FailedPrecondition(
-          StrCat("key attribute '", rel.schema.attribute(a).name,
-                 "' of relation ", rel.name,
+          StrCat("key attribute '", attr, "' of relation ", rel.name,
                  " is not in the view projection; ECA-Key inapplicable"));
     }
     size_t output_column =
         static_cast<size_t>(it - projection_indices_.begin());
-    constraints.emplace_back(output_column, u.tuple.value(a));
-  }
-  if (constraints.empty()) {
-    return Status::FailedPrecondition(
-        StrCat("relation ", rel.name,
-               " declares no key attributes; ECA-Key inapplicable"));
+    constraints.emplace_back(output_column, u.tuple.value(*a));
   }
   return constraints;
+}
+
+Result<size_t> ViewDefinition::CombinedIndexOf(const std::string& relation,
+                                               const std::string& attr) const {
+  WVM_ASSIGN_OR_RETURN(size_t ri, RelationIndex(relation));
+  std::optional<size_t> a = relations_[ri].schema.IndexOf(attr);
+  if (!a.has_value()) {
+    return Status::NotFound(
+        StrCat("attribute '", attr, "' not in relation '", relation, "'"));
+  }
+  return relation_offsets_[ri] + *a;
 }
 
 std::string ViewDefinition::ToString() const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "query/schema_constraints.h"
 #include "relational/predicate.h"
 #include "relational/relation.h"
 #include "relational/update.h"
@@ -16,12 +17,6 @@
 namespace wvm {
 
 class CompiledDeltaPlan;
-
-/// Name and schema of one base relation participating in a view.
-struct BaseRelationDef {
-  std::string name;
-  Schema schema;
-};
 
 /// A warehouse view in the paper's normal form (Section 4):
 ///
@@ -36,10 +31,22 @@ struct BaseRelationDef {
 class ViewDefinition {
  public:
   /// Builds and validates a view. `projection` and `cond` are resolved
-  /// against the combined schema.
+  /// against the combined schema. Key metadata is derived from the schemas'
+  /// `is_key` flags (SchemaConstraints::FromSchemas); foreign keys cannot be
+  /// expressed this way — use the overload below to declare them.
   static Result<std::shared_ptr<const ViewDefinition>> Create(
       std::string name, std::vector<BaseRelationDef> relations,
       std::vector<std::string> projection, Predicate cond);
+
+  /// As above with explicitly declared constraints, which are validated
+  /// against the base relations. This is the full schema-constraints
+  /// surface: per-relation keys plus foreign keys with their join paths,
+  /// consumed by ECA-Key's key condition and SelfMaintainer's decision
+  /// procedure.
+  static Result<std::shared_ptr<const ViewDefinition>> Create(
+      std::string name, std::vector<BaseRelationDef> relations,
+      std::vector<std::string> projection, Predicate cond,
+      SchemaConstraints constraints);
 
   /// Convenience builder for natural-join views like the paper's
   /// V = pi_W(r1 |x| r2 |x| r3): adds equality conditions between every
@@ -48,6 +55,12 @@ class ViewDefinition {
   static Result<std::shared_ptr<const ViewDefinition>> NaturalJoin(
       std::string name, std::vector<BaseRelationDef> relations,
       std::vector<std::string> projection, Predicate extra_cond = Predicate());
+
+  /// Natural join with explicitly declared constraints.
+  static Result<std::shared_ptr<const ViewDefinition>> NaturalJoin(
+      std::string name, std::vector<BaseRelationDef> relations,
+      std::vector<std::string> projection, Predicate extra_cond,
+      SchemaConstraints constraints);
 
   const std::string& name() const { return name_; }
   const std::vector<BaseRelationDef>& relations() const { return relations_; }
@@ -81,17 +94,34 @@ class ViewDefinition {
     return residual_bound_cond_;
   }
 
-  /// True if for every base relation, all of its key attributes are present
-  /// in the projection and the relation declares at least one key attribute.
-  /// This is the applicability condition of ECA-Key (Section 5.4).
-  bool HasAllBaseKeys() const { return has_all_base_keys_; }
+  /// The view's declared (or schema-derived) key and foreign-key metadata.
+  const SchemaConstraints& constraints() const { return *constraints_; }
+  const std::shared_ptr<const SchemaConstraints>& shared_constraints() const {
+    return constraints_;
+  }
 
-  /// For a view with HasAllBaseKeys(): the output-column constraints implied
+  /// True if every base relation has a declared key and all of its key
+  /// attributes are present in the projection. This is the applicability
+  /// condition of ECA-Key (Section 5.4) and of view-side key-deletes.
+  bool KeysProjected() const { return keys_projected_; }
+
+  /// Deprecated alias of KeysProjected(), kept so seed call sites compile;
+  /// the `has_all_base_keys_` bool it used to expose is gone — key metadata
+  /// now lives in constraints().
+  bool HasAllBaseKeys() const { return keys_projected_; }
+
+  /// For a view with KeysProjected(): the output-column constraints implied
   /// by deleting/inserting `u.tuple` in `u.relation` — pairs of (output
-  /// column index, key value). The key-delete operation of ECA-Key removes
-  /// every view tuple matching all constraints.
+  /// column index, key value), one per attribute of the relation's declared
+  /// KeySpec. The key-delete operation of ECA-Key removes every view tuple
+  /// matching all constraints.
   Result<std::vector<std::pair<size_t, Value>>> KeyConstraintsFor(
       const Update& u) const;
+
+  /// Index of relation `relation`'s attribute `attr` in the combined
+  /// schema (offset + position; resolves regardless of name qualification).
+  Result<size_t> CombinedIndexOf(const std::string& relation,
+                                 const std::string& attr) const;
 
   /// Equi-join edges extracted from top-level conjuncts of `cond` of the
   /// form attr = attr; used by evaluators to plan hash joins.
@@ -147,7 +177,8 @@ class ViewDefinition {
   BoundPredicate bound_cond_;
   Predicate residual_cond_;
   BoundPredicate residual_bound_cond_;
-  bool has_all_base_keys_ = false;
+  std::shared_ptr<const SchemaConstraints> constraints_;
+  bool keys_projected_ = false;
   std::vector<EquiEdge> equi_edges_;
   std::string structure_key_;
 

@@ -9,7 +9,7 @@ namespace wvm {
 Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
                                     bool record_trace) {
   SimulationOptions options;
-  options.record_trace = record_trace;
+  options.instrument.record_trace = record_trace;
   std::unique_ptr<ViewMaintainer> maintainer;
   if (!spec.replicated.empty()) {
     if (spec.algorithm != Algorithm::kEca) {

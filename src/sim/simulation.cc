@@ -28,7 +28,7 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   // The toggle is process-global (the evaluator has no per-call context);
   // simulations select their path at creation, which also covers every
   // evaluation the ctor itself performs (initial view materialization).
-  SetCompiledPlansEnabled(options.compiled_plans);
+  SetCompiledPlansEnabled(options.engine.compiled_plans);
   auto sim = std::unique_ptr<Simulation>(new Simulation(view, options));
   {
     // Install the transport mode on both directions before any traffic.
@@ -86,14 +86,14 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   SourceConfig source_config;
   source_config.physical = options.physical;
   source_config.term_cache = options.term_cache;
-  source_config.parallel_batch = options.parallel_source_answers;
+  source_config.parallel_batch = options.engine.parallel_answers;
   WVM_ASSIGN_OR_RETURN(
       Source source, Source::Create(initial, source_config,
                                     options.indexes));
   sim->source_ = std::make_unique<Source>(std::move(source));
   sim->warehouse_ = std::make_unique<Warehouse>(
       std::move(maintainer), &sim->to_source_, &sim->meter_);
-  if (options.record_states) {
+  if (options.instrument.record_states) {
     // Snapshot intermediate view states (e.g. LCA applying several deltas
     // within one event); consecutive duplicates are deduplicated by the
     // checker.
@@ -102,7 +102,7 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   }
   WVM_RETURN_IF_ERROR(sim->warehouse_->Initialize(initial));
 
-  if (options.record_states) {
+  if (options.instrument.record_states) {
     // ss_0 and ws_0: the paper assumes V[ws_0] = V[ss_0].
     WVM_RETURN_IF_ERROR(sim->RecordSourceState());
     sim->RecordWarehouseState();
@@ -193,7 +193,7 @@ Status Simulation::StepSourceUpdate() {
     u.id = next_update_id_++;
     WVM_RETURN_IF_ERROR(source_->ExecuteUpdate(u));
   }
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     std::vector<std::string> parts;
     for (const Update& u : batch) {
       parts.push_back(u.ToString());
@@ -208,7 +208,7 @@ Status Simulation::StepSourceUpdate() {
   } else {
     to_warehouse_.Send(BatchNotification{std::move(batch)});
   }
-  if (options_.record_states) {
+  if (options_.instrument.record_states) {
     WVM_RETURN_IF_ERROR(RecordSourceState());
   }
   return NoteSourceConsumed(0);
@@ -220,7 +220,7 @@ Status Simulation::StepSourceAnswer() {
         source_up_ ? "no pending queries at the source" : "source is down");
   }
   ++event_seq_;
-  if (options_.parallel_source_answers) {
+  if (options_.engine.parallel_answers) {
     // Drain every pending query and evaluate them as one batch (one atomic
     // source event): the engine snapshots the storage and fans the queries
     // onto the thread pool. Answers ship in arrival order, so the
@@ -233,7 +233,7 @@ Status Simulation::StepSourceAnswer() {
     WVM_ASSIGN_OR_RETURN(std::vector<AnswerMessage> answers,
                          source_->EvaluateQueryBatch(batch));
     for (size_t i = 0; i < answers.size(); ++i) {
-      if (options_.record_trace) {
+      if (options_.instrument.record_trace) {
         trace_.Add(TraceEvent::Kind::kSourceQueryEval,
                    StrCat("source evaluates ", batch[i].ToString(),
                           " -> ", answers[i].Sum().ToString()));
@@ -246,7 +246,7 @@ Status Simulation::StepSourceAnswer() {
   QueryMessage qm = to_source_.Receive();
   WVM_ASSIGN_OR_RETURN(AnswerMessage answer,
                        source_->EvaluateQuery(qm.query));
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(TraceEvent::Kind::kSourceQueryEval,
                StrCat("source evaluates ", qm.query.ToString(),
                       " -> ", answer.Sum().ToString()));
@@ -267,21 +267,21 @@ Status Simulation::StepWarehouse() {
   if (message_tap_) {
     message_tap_(m);
   }
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     const bool is_answer = std::holds_alternative<AnswerMessage>(m);
     trace_.Add(is_answer ? TraceEvent::Kind::kWarehouseAnswer
                          : TraceEvent::Kind::kWarehouseUpdate,
                StrCat("warehouse receives ", SourceMessageToString(m)));
   }
   WVM_RETURN_IF_ERROR(warehouse_->HandleMessage(m));
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(std::holds_alternative<AnswerMessage>(m)
                    ? TraceEvent::Kind::kWarehouseAnswer
                    : TraceEvent::Kind::kWarehouseUpdate,
                StrCat("warehouse view is now ",
                       warehouse_->maintainer().view_contents().ToString()));
   }
-  if (options_.record_states) {
+  if (options_.instrument.record_states) {
     RecordWarehouseState();
   }
   return NoteWarehouseConsumed(1);
@@ -294,7 +294,7 @@ Status Simulation::StepTransportTick() {
   ++event_seq_;
   to_warehouse_.Tick();
   to_source_.Tick();
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(TraceEvent::Kind::kTransportTick,
                "transport time advances one tick");
   }
@@ -333,7 +333,7 @@ Status Simulation::CrashWarehouse() {
   to_source_.CrashSender();
   // RAM is gone: UQS, COLLECT, pending buffers. MV survives on disk.
   warehouse_->maintainer().LoseVolatileState();
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(TraceEvent::Kind::kCrash,
                "warehouse crashes, losing all volatile state");
   }
@@ -356,7 +356,7 @@ Status Simulation::RestartWarehouse() {
     to_source_.RestartSender();
   }
   warehouse_up_ = true;
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(TraceEvent::Kind::kRestart,
                options_.recovery.enabled
                    ? "warehouse restarts: checkpoint restored, journal tail "
@@ -379,7 +379,7 @@ Status Simulation::CrashSource() {
   // were delivered but not yet answered.
   to_source_.CrashReceiver();
   to_warehouse_.CrashSender();
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(TraceEvent::Kind::kCrash,
                "source crashes, losing all volatile state");
   }
@@ -399,7 +399,7 @@ Status Simulation::RestartSource() {
     to_warehouse_.RestartSender();
   }
   source_up_ = true;
-  if (options_.record_trace) {
+  if (options_.instrument.record_trace) {
     trace_.Add(TraceEvent::Kind::kRestart,
                options_.recovery.enabled
                    ? "source restarts: checkpoint restored, update history "

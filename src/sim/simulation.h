@@ -50,16 +50,42 @@ struct RecoveryOptions {
   int checkpoint_every = 0;
 };
 
+/// How the source engine and the warehouse data plane execute — grouped so
+/// a benchmark or test can hand around the execution configuration as one
+/// value. Defaults match the paper's atomic single-query model with the
+/// compiled fast path on.
+struct SourceEngineOptions {
+  /// When set, a kSourceAnswer event drains ALL pending queries and
+  /// evaluates them as one parallel batch against a storage snapshot
+  /// (answers still ship in arrival order). Off by default: one query per
+  /// event, exactly the paper's atomic S_qu.
+  bool parallel_answers = false;
+  /// Evaluate delta queries through precompiled plans and cached key
+  /// indexes (the data-plane fast path). On by default; turning it off
+  /// selects the interpreted evaluator, which must produce bit-identical
+  /// counters and view states (differential-tested).
+  bool compiled_plans = true;
+};
+
+/// What the simulation records about its own execution. States default on
+/// (the consistency checker needs them), the readable trace defaults off
+/// (examples turn it on, benchmarks leave it off).
+struct InstrumentationOptions {
+  /// Record V[ss_i] / V[ws_j] sequences for the consistency checker.
+  bool record_states = true;
+  /// Record a readable per-event trace (examples; off for benchmarks).
+  bool record_trace = false;
+};
+
 struct SimulationOptions {
   PhysicalConfig physical;
   /// Source-side cross-query term cache (off by default; when enabled the
   /// source patches cached term answers incrementally under updates).
   TermCacheConfig term_cache;
-  /// When set, a kSourceAnswer event drains ALL pending queries and
-  /// evaluates them as one parallel batch against a storage snapshot
-  /// (answers still ship in arrival order). Off by default: one query per
-  /// event, exactly the paper's atomic S_qu.
-  bool parallel_source_answers = false;
+  /// Execution knobs of the source engine and the warehouse data plane.
+  SourceEngineOptions engine;
+  /// What the run records about itself.
+  InstrumentationOptions instrument;
   /// Indexes to declare at the source (Scenario 1 only).
   std::vector<IndexSpec> indexes;
   /// Fixed bytes charged per answer tuple (S of Table 1); negative derives
@@ -68,10 +94,6 @@ struct SimulationOptions {
   /// Updates per notification; > 1 enables the Section 7 batching
   /// extension (one atomic source event and one notification per batch).
   int batch_size = 1;
-  /// Record V[ss_i] / V[ws_j] sequences for the consistency checker.
-  bool record_states = true;
-  /// Record a readable per-event trace (examples; off for benchmarks).
-  bool record_trace = false;
   /// How to evaluate the view over a source catalog when recording
   /// V[ss_i] states and answering SourceViewNow(). Defaults to evaluating
   /// the single ViewDefinition; composite (union/difference) views install
@@ -84,11 +106,6 @@ struct SimulationOptions {
   /// Crash-restart recovery: journaling, checkpoints, and the kCrash /
   /// kRestart actions' recovered-restart path.
   RecoveryOptions recovery;
-  /// Evaluate delta queries through precompiled plans and cached key
-  /// indexes (the data-plane fast path). On by default; turning it off
-  /// selects the interpreted evaluator, which must produce bit-identical
-  /// counters and view states (differential-tested).
-  bool compiled_plans = true;
 };
 
 /// Owns one complete single-source / single-warehouse system: the source

@@ -202,6 +202,203 @@ Result<Workload> MakeKeyedWorkload(const KeyedConfig& config, Random* rng) {
   return w;
 }
 
+Result<Workload> MakeFkStarWorkload(const FkStarConfig& config, Random* rng) {
+  (void)rng;
+  if (config.orders < 1 || config.parts < 1 || config.suppliers < 1) {
+    return Status::InvalidArgument("orders/parts/suppliers must be >= 1");
+  }
+  if (config.cold_parts < 0 || config.cold_parts >= config.parts) {
+    return Status::InvalidArgument("cold_parts must be in [0, parts)");
+  }
+
+  Workload w;
+  Schema orders_schema({{"O", ValueType::kInt, /*is_key=*/true},
+                        {"P", ValueType::kInt, /*is_key=*/false}});
+  Schema parts_schema({{"P", ValueType::kInt, /*is_key=*/true},
+                       {"S", ValueType::kInt, /*is_key=*/false}});
+  Schema suppliers_schema({{"S", ValueType::kInt, /*is_key=*/true},
+                           {"T", ValueType::kInt, /*is_key=*/false}});
+  w.defs = {{"orders", std::move(orders_schema)},
+            {"parts", std::move(parts_schema)},
+            {"suppliers", std::move(suppliers_schema)}};
+
+  Relation orders(w.defs[0].schema);
+  Relation parts(w.defs[1].schema);
+  Relation suppliers(w.defs[2].schema);
+  for (int64_t s = 0; s < config.suppliers; ++s) {
+    suppliers.Insert(Tuple::Ints({s, s * 7 + 1}));
+  }
+  for (int64_t p = 0; p < config.parts; ++p) {
+    parts.Insert(Tuple::Ints({p, p % config.suppliers}));
+  }
+  // The last `cold_parts` parts get no referencing order: they are live but
+  // invisible to the initial semijoin and (until touched) to the journal.
+  const int64_t referenced_parts = config.parts - config.cold_parts;
+  for (int64_t o = 0; o < config.orders; ++o) {
+    orders.Insert(Tuple::Ints({o, o % referenced_parts}));
+  }
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[0], std::move(orders)));
+  WVM_RETURN_IF_ERROR(w.initial.DefineWithData(w.defs[1], std::move(parts)));
+  WVM_RETURN_IF_ERROR(
+      w.initial.DefineWithData(w.defs[2], std::move(suppliers)));
+
+  SchemaConstraints constraints = SchemaConstraints::FromSchemas(w.defs);
+  WVM_RETURN_IF_ERROR(constraints.DeclareForeignKey(
+      ForeignKeySpec{"orders", {"P"}, "parts", {"P"}}));
+  WVM_RETURN_IF_ERROR(constraints.DeclareForeignKey(
+      ForeignKeySpec{"parts", {"S"}, "suppliers", {"S"}}));
+
+  // Shared attribute names qualify in the combined schema; project each
+  // key from its OWN relation so the declared keys survive the projection.
+  WVM_ASSIGN_OR_RETURN(
+      w.view,
+      ViewDefinition::NaturalJoin("V", w.defs,
+                                  {"O", "parts.P", "suppliers.S", "T"},
+                                  Predicate(), std::move(constraints)));
+  w.scenario1_indexes = {
+      {"orders", "P", /*clustered=*/true},
+      {"parts", "P", /*clustered=*/true},
+      {"parts", "S", /*clustered=*/false},
+      {"suppliers", "S", /*clustered=*/true},
+  };
+  return w;
+}
+
+Result<std::vector<Update>> MakeFkStarUpdates(const Workload& workload,
+                                              int64_t k, Random* rng) {
+  if (workload.defs.size() != 3 || workload.defs[0].name != "orders") {
+    return Status::InvalidArgument(
+        "MakeFkStarUpdates requires the fk-star workload");
+  }
+  // Live state mirrored from the initial catalog, so every generated
+  // update is valid under the declared constraints whatever prefix has
+  // executed: fresh keys only, deletes of live rows only, dimension
+  // deletes of unreferenced rows only.
+  std::map<int64_t, int64_t> live_orders;     // O -> P
+  std::map<int64_t, int64_t> live_parts;      // P -> S
+  std::map<int64_t, int64_t> live_suppliers;  // S -> T
+  std::map<int64_t, int64_t> part_refs;       // P -> #referencing orders
+  std::map<int64_t, int64_t> supplier_refs;   // S -> #referencing parts
+  int64_t next_order = 0, next_part = 0, next_supplier = 0;
+
+  const auto load = [&](const char* name, std::map<int64_t, int64_t>* out,
+                        int64_t* next) -> Status {
+    WVM_ASSIGN_OR_RETURN(const Relation* r, workload.initial.Get(name));
+    for (const auto& [t, c] : r->entries()) {
+      if (c > 0) {
+        const int64_t key = t.value(0).AsInt();
+        (*out)[key] = t.value(1).AsInt();
+        *next = std::max(*next, key + 1);
+      }
+    }
+    return Status::OK();
+  };
+  WVM_RETURN_IF_ERROR(load("orders", &live_orders, &next_order));
+  WVM_RETURN_IF_ERROR(load("parts", &live_parts, &next_part));
+  WVM_RETURN_IF_ERROR(load("suppliers", &live_suppliers, &next_supplier));
+  for (const auto& [o, p] : live_orders) {
+    (void)o;
+    ++part_refs[p];
+  }
+  for (const auto& [p, s] : live_parts) {
+    (void)p;
+    ++supplier_refs[s];
+  }
+
+  const auto nth_key = [](const std::map<int64_t, int64_t>& m, uint64_t n) {
+    auto it = m.begin();
+    std::advance(it, static_cast<int64_t>(n % m.size()));
+    return it;
+  };
+
+  std::vector<Update> updates;
+  updates.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const uint64_t roll = rng->Uniform(100);
+    if (roll < 55 || live_orders.empty()) {
+      // Order insert: fresh key, part drawn from the live dimension. A
+      // small slice aims at never-referenced init parts (cold rows) to
+      // exercise the runtime fallback.
+      auto part = nth_key(live_parts, rng->Next());
+      if (rng->Uniform(100) < 6) {
+        for (auto it = live_parts.rbegin(); it != live_parts.rend(); ++it) {
+          if (part_refs.count(it->first) == 0) {
+            part = std::prev(it.base());
+            break;
+          }
+        }
+      }
+      const int64_t o = next_order++;
+      live_orders[o] = part->first;
+      ++part_refs[part->first];
+      updates.push_back(Update{UpdateKind::kInsert, "orders",
+                               Tuple::Ints({o, part->first})});
+    } else if (roll < 85) {
+      auto order = nth_key(live_orders, rng->Next());
+      const int64_t o = order->first, p = order->second;
+      if (--part_refs[p] == 0) {
+        part_refs.erase(p);
+      }
+      live_orders.erase(order);
+      updates.push_back(
+          Update{UpdateKind::kDelete, "orders", Tuple::Ints({o, p})});
+    } else if (roll < 94) {
+      // Part churn: delete an unreferenced live part when one exists and
+      // the coin lands that way, else insert a fresh one.
+      int64_t doomed = -1;
+      if (rng->Uniform(2) == 0) {
+        for (const auto& [p, s] : live_parts) {
+          (void)s;
+          if (part_refs.count(p) == 0) {
+            doomed = p;
+            break;
+          }
+        }
+      }
+      if (doomed >= 0) {
+        const int64_t s = live_parts[doomed];
+        if (--supplier_refs[s] == 0) {
+          supplier_refs.erase(s);
+        }
+        live_parts.erase(doomed);
+        updates.push_back(
+            Update{UpdateKind::kDelete, "parts", Tuple::Ints({doomed, s})});
+      } else {
+        auto supplier = nth_key(live_suppliers, rng->Next());
+        const int64_t p = next_part++;
+        live_parts[p] = supplier->first;
+        ++supplier_refs[supplier->first];
+        updates.push_back(Update{UpdateKind::kInsert, "parts",
+                                 Tuple::Ints({p, supplier->first})});
+      }
+    } else {
+      int64_t doomed = -1;
+      if (rng->Uniform(2) == 0) {
+        for (const auto& [s, t] : live_suppliers) {
+          (void)t;
+          if (supplier_refs.count(s) == 0) {
+            doomed = s;
+            break;
+          }
+        }
+      }
+      if (doomed >= 0) {
+        const int64_t t = live_suppliers[doomed];
+        live_suppliers.erase(doomed);
+        updates.push_back(Update{UpdateKind::kDelete, "suppliers",
+                                 Tuple::Ints({doomed, t})});
+      } else {
+        const int64_t s = next_supplier++;
+        const int64_t t = static_cast<int64_t>(rng->Uniform(1000));
+        live_suppliers[s] = t;
+        updates.push_back(
+            Update{UpdateKind::kInsert, "suppliers", Tuple::Ints({s, t})});
+      }
+    }
+  }
+  return updates;
+}
+
 Result<std::vector<Update>> MakeRoundRobinInserts(const Workload& workload,
                                                   int64_t k, Random* rng) {
   if (workload.defs.empty()) {

@@ -61,6 +61,34 @@ struct KeyedConfig {
 
 Result<Workload> MakeKeyedWorkload(const KeyedConfig& config, Random* rng);
 
+/// A key/FK star-chain scenario for the self-maintenance decision
+/// procedure: orders(O key, P) -> parts(P key, S) -> suppliers(S key, T),
+/// with declared foreign keys orders.P -> parts.P and parts.S ->
+/// suppliers.S, and V = pi_{O, parts.P, suppliers.S, T}(natural join).
+/// Every declared key survives the projection (ECA-Key applies) and the
+/// view realizes both FKs on the dimension keys, so SelfMaintainer proves
+/// order updates local via pruned dimension complements and dimension
+/// updates empty outright. `cold_parts` parts start with no referencing
+/// order, exercising the runtime fallback (a cold row is unknown to the
+/// initial semijoin and the update journal).
+struct FkStarConfig {
+  int64_t orders = 120;
+  int64_t parts = 30;
+  int64_t suppliers = 10;
+  int64_t cold_parts = 3;
+};
+
+Result<Workload> MakeFkStarWorkload(const FkStarConfig& config, Random* rng);
+
+/// k referential-integrity-preserving updates over the fk-star workload:
+/// fact-heavy order insert/delete churn (fresh order keys, parts drawn from
+/// the live dimension, a small fraction aimed at cold parts), plus
+/// dimension churn that only inserts fresh keys and only deletes
+/// unreferenced rows — exactly the update streams a source enforcing the
+/// declared constraints can execute.
+Result<std::vector<Update>> MakeFkStarUpdates(const Workload& workload,
+                                              int64_t k, Random* rng);
+
 /// k single-tuple inserts cycling r1, r2, r3, ... (the paper's k-update
 /// analyses assume updates uniform over the relations; round-robin realizes
 /// the per-relation frequencies exactly). New tuples draw join attributes

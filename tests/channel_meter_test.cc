@@ -114,7 +114,7 @@ TEST(FactoryTest, EveryAlgorithmConstructsAndRoundTripsItsName) {
     EXPECT_EQ(*parsed, a);
   }
   EXPECT_EQ(ParseAlgorithm("nope").status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(AllAlgorithms().size(), 10u);
+  EXPECT_EQ(AllAlgorithms().size(), 11u);
 }
 
 TEST(FactoryTest, RvPeriodIsWiredThrough) {

@@ -261,7 +261,7 @@ TEST(CompiledPlanTest, SimulationCountersIdenticalOnAndOff) {
       Result<Algorithm> algorithm = ParseAlgorithm(ex.algorithm);
       EXPECT_TRUE(algorithm.ok()) << algorithm.status();
       SimulationOptions options;
-      options.compiled_plans = compiled;
+      options.engine.compiled_plans = compiled;
       std::unique_ptr<Simulation> sim =
           MustMakeSim(ex.initial, ex.view, *algorithm, options);
       sim->SetUpdateScript(ex.updates);

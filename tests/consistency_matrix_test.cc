@@ -43,6 +43,18 @@ SweepSetup MakeKeyedSetup(uint64_t seed, int64_t k = 8) {
   return SweepSetup{std::move(*w), std::move(*updates)};
 }
 
+SweepSetup MakeFkStarSetup(uint64_t seed, int64_t k = 10) {
+  Random rng(seed);
+  Result<Workload> w =
+      MakeFkStarWorkload({/*orders=*/24, /*parts=*/8, /*suppliers=*/4,
+                          /*cold_parts=*/2},
+                         &rng);
+  EXPECT_TRUE(w.ok()) << w.status();
+  Result<std::vector<Update>> updates = MakeFkStarUpdates(*w, k, &rng);
+  EXPECT_TRUE(updates.ok()) << updates.status();
+  return SweepSetup{std::move(*w), std::move(*updates)};
+}
+
 class MatrixSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MatrixSweep, EcaIsStronglyConsistent) {
@@ -109,6 +121,42 @@ TEST_P(MatrixSweep, EcaNoCollectIsConvergent) {
       RunRandomized(s.workload.initial, s.workload.view,
                     Algorithm::kEcaNoCollect, s.updates, GetParam());
   EXPECT_TRUE(r.convergent) << r.ToString();
+}
+
+TEST_P(MatrixSweep, SelfMaintainerIsStronglyConsistentOnFkStar) {
+  // Mixed local/remote processing: most updates answered from constraints
+  // and complements, cold-part references falling back to the source.
+  SweepSetup s = MakeFkStarSetup(GetParam());
+  ConsistencyReport r =
+      RunRandomized(s.workload.initial, s.workload.view,
+                    Algorithm::kSelfMaintain, s.updates, GetParam());
+  EXPECT_TRUE(r.strongly_consistent) << r.ToString();
+}
+
+TEST_P(MatrixSweep, SelfMaintainerIsStronglyConsistentOnChain) {
+  // No declared constraints: full complements answer everything locally.
+  SweepSetup s = MakeChainSetup(GetParam());
+  ConsistencyReport r =
+      RunRandomized(s.workload.initial, s.workload.view,
+                    Algorithm::kSelfMaintain, s.updates, GetParam());
+  EXPECT_TRUE(r.strongly_consistent) << r.ToString();
+}
+
+TEST_P(MatrixSweep, SelfMaintainerFinalStateMatchesEca) {
+  // The differential row of the matrix: same fk-star stream under ECA and
+  // under SelfMaintainer, both finals equal to the source truth (and hence
+  // to each other) on every seed.
+  SweepSetup s = MakeFkStarSetup(GetParam());
+  for (Algorithm algorithm : {Algorithm::kEca, Algorithm::kSelfMaintain}) {
+    std::unique_ptr<Simulation> sim =
+        MustMakeSim(s.workload.initial, s.workload.view, algorithm);
+    sim->SetUpdateScript(s.updates);
+    RandomPolicy policy(GetParam() * 17 + 3);
+    ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());
+    Result<Relation> expected = sim->SourceViewNow();
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(sim->warehouse_view(), *expected) << AlgorithmName(algorithm);
+  }
 }
 
 TEST_P(MatrixSweep, EcaBatchIsStronglyConsistent) {

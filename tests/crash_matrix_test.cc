@@ -144,12 +144,21 @@ std::unique_ptr<Simulation> MakeCrashSim(Algorithm algorithm, uint64_t seed,
                                          const SimulationOptions& options,
                                          int updates = 6) {
   Random rng(seed);
-  Result<Workload> w = algorithm == Algorithm::kEcaKey
-                           ? MakeKeyedWorkload({10, 3}, &rng)
-                           : MakeExample6Workload({10, 2}, &rng);
+  // SelfMaintainer gets the key/FK star its decision procedure feeds on
+  // (with integrity-preserving updates), so crashes land while auxiliary
+  // complements and the update-history journal are in active use.
+  Result<Workload> w =
+      algorithm == Algorithm::kSelfMaintain
+          ? MakeFkStarWorkload({/*orders=*/16, /*parts=*/6, /*suppliers=*/3,
+                                /*cold_parts=*/1},
+                               &rng)
+      : algorithm == Algorithm::kEcaKey ? MakeKeyedWorkload({10, 3}, &rng)
+                                        : MakeExample6Workload({10, 2}, &rng);
   EXPECT_TRUE(w.ok()) << w.status();
   Result<std::vector<Update>> script =
-      MakeMixedUpdates(*w, updates, 0.35, &rng);
+      algorithm == Algorithm::kSelfMaintain
+          ? MakeFkStarUpdates(*w, updates, &rng)
+          : MakeMixedUpdates(*w, updates, 0.35, &rng);
   EXPECT_TRUE(script.ok()) << script.status();
   std::unique_ptr<Simulation> sim =
       MustMakeSim(w->initial, w->view, algorithm, options);
@@ -199,7 +208,8 @@ TEST_P(CrashEverywhereTest, EverySchedulePointEverySiteStaysConsistent) {
 INSTANTIATE_TEST_SUITE_P(
     Matrix, CrashEverywhereTest,
     ::testing::Combine(::testing::Values(Algorithm::kEca, Algorithm::kEcaKey,
-                                         Algorithm::kEcaLocal),
+                                         Algorithm::kEcaLocal,
+                                         Algorithm::kSelfMaintain),
                        ::testing::Bool()));
 
 // ---------------------------------------------------------------------------
@@ -244,6 +254,12 @@ TEST_P(RandomCrashMatrix, EcaLocalSurvivesWarehouseCrash) {
 }
 TEST_P(RandomCrashMatrix, EcaLocalSurvivesSourceCrash) {
   RunSite(Algorithm::kEcaLocal, CrashSite::kSource);
+}
+TEST_P(RandomCrashMatrix, SelfMaintainerSurvivesWarehouseCrash) {
+  RunSite(Algorithm::kSelfMaintain, CrashSite::kWarehouse);
+}
+TEST_P(RandomCrashMatrix, SelfMaintainerSurvivesSourceCrash) {
+  RunSite(Algorithm::kSelfMaintain, CrashSite::kSource);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomCrashMatrix,

@@ -98,7 +98,7 @@ TEST(OrViewTest, EcaMaintainsOrViewsUnderConcurrency) {
 TEST(StateRecordingTest, DisabledRecordingKeepsLogEmpty) {
   OrViewFixture f = OrViewFixture::Make();
   SimulationOptions options;
-  options.record_states = false;
+  options.instrument.record_states = false;
   std::unique_ptr<Simulation> sim =
       MustMakeSim(f.initial, f.view, Algorithm::kEca, options);
   sim->SetUpdateScript({Update::Insert("r1", Tuple::Ints({5, 99}))});

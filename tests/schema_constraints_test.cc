@@ -1,0 +1,155 @@
+// The schema-constraints surface that replaced has_all_base_keys_:
+// derivation from is_key flags, declaration/validation errors, the
+// KeysProjected predicate ECA-Key keys off, and the deprecation shim.
+#include "query/schema_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "core/eca_key.h"
+#include "query/view_def.h"
+#include "workload/generator.h"
+
+namespace wvm {
+namespace {
+
+std::vector<BaseRelationDef> TwoRelations() {
+  Schema r1({{"W", ValueType::kInt, /*is_key=*/true},
+             {"X", ValueType::kInt, /*is_key=*/false}});
+  Schema r2({{"X", ValueType::kInt, /*is_key=*/false},
+             {"Y", ValueType::kInt, /*is_key=*/true}});
+  return {{"r1", std::move(r1)}, {"r2", std::move(r2)}};
+}
+
+TEST(SchemaConstraintsTest, FromSchemasDerivesKeysFromFlags) {
+  SchemaConstraints c = SchemaConstraints::FromSchemas(TwoRelations());
+  ASSERT_NE(c.KeyOf("r1"), nullptr);
+  EXPECT_EQ(c.KeyOf("r1")->attrs, std::vector<std::string>{"W"});
+  ASSERT_NE(c.KeyOf("r2"), nullptr);
+  EXPECT_EQ(c.KeyOf("r2")->attrs, std::vector<std::string>{"Y"});
+  EXPECT_TRUE(c.foreign_keys().empty());
+  EXPECT_TRUE(c.Validate(TwoRelations()).ok());
+}
+
+TEST(SchemaConstraintsTest, FromSchemasSkipsUnkeyedRelations) {
+  Schema plain({{"A", ValueType::kInt, /*is_key=*/false}});
+  SchemaConstraints c =
+      SchemaConstraints::FromSchemas({{"r", std::move(plain)}});
+  EXPECT_EQ(c.KeyOf("r"), nullptr);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(SchemaConstraintsTest, DeclareKeyRejectsSecondKeyAndDuplicates) {
+  SchemaConstraints c;
+  EXPECT_TRUE(c.DeclareKey({"r1", {"W"}}).ok());
+  EXPECT_FALSE(c.DeclareKey({"r1", {"X"}}).ok());   // second key
+  EXPECT_FALSE(c.DeclareKey({"r2", {}}).ok());      // empty attrs
+  EXPECT_FALSE(c.DeclareKey({"r2", {"Y", "Y"}}).ok());  // duplicated attr
+}
+
+TEST(SchemaConstraintsTest, DeclareForeignKeyShapeErrors) {
+  SchemaConstraints c;
+  EXPECT_FALSE(c.DeclareForeignKey({"r1", {}, "r2", {}}).ok());
+  EXPECT_FALSE(c.DeclareForeignKey({"r1", {"X"}, "r2", {"X", "Y"}}).ok());
+  EXPECT_FALSE(c.DeclareForeignKey({"r1", {"X"}, "r1", {"W"}}).ok());
+}
+
+TEST(SchemaConstraintsTest, ValidateCatchesUnknownNamesAndNonKeyTargets) {
+  std::vector<BaseRelationDef> rels = TwoRelations();
+
+  SchemaConstraints unknown_rel;
+  ASSERT_TRUE(unknown_rel.DeclareKey({"nope", {"W"}}).ok());
+  EXPECT_FALSE(unknown_rel.Validate(rels).ok());
+
+  SchemaConstraints unknown_attr;
+  ASSERT_TRUE(unknown_attr.DeclareKey({"r1", {"Q"}}).ok());
+  EXPECT_FALSE(unknown_attr.Validate(rels).ok());
+
+  // FK whose target columns are not the declared key of r2.
+  SchemaConstraints non_key_target;
+  ASSERT_TRUE(non_key_target.DeclareKey({"r2", {"Y"}}).ok());
+  ASSERT_TRUE(
+      non_key_target.DeclareForeignKey({"r1", {"X"}, "r2", {"X"}}).ok());
+  EXPECT_FALSE(non_key_target.Validate(rels).ok());
+
+  // FK into a relation with no declared key at all.
+  SchemaConstraints no_target_key;
+  ASSERT_TRUE(
+      no_target_key.DeclareForeignKey({"r1", {"X"}, "r2", {"Y"}}).ok());
+  EXPECT_FALSE(no_target_key.Validate(rels).ok());
+
+  // The valid version of the same FK.
+  SchemaConstraints good;
+  ASSERT_TRUE(good.DeclareKey({"r2", {"Y"}}).ok());
+  ASSERT_TRUE(good.DeclareForeignKey({"r1", {"X"}, "r2", {"Y"}}).ok());
+  EXPECT_TRUE(good.Validate(rels).ok());
+  EXPECT_EQ(good.ForeignKeysFrom("r1").size(), 1u);
+  EXPECT_EQ(good.ForeignKeysInto("r2").size(), 1u);
+  EXPECT_TRUE(good.ForeignKeysInto("r1").empty());
+}
+
+TEST(SchemaConstraintsTest, ViewCreateValidatesDeclaredConstraints) {
+  std::vector<BaseRelationDef> rels = TwoRelations();
+  SchemaConstraints bad;
+  ASSERT_TRUE(bad.DeclareKey({"r1", {"Q"}}).ok());
+  Result<ViewDefinitionPtr> view = ViewDefinition::NaturalJoin(
+      "V", rels, {"W", "Y"}, Predicate(), std::move(bad));
+  EXPECT_FALSE(view.ok());
+}
+
+TEST(SchemaConstraintsTest, KeysProjectedRequiresEveryDeclaredKey) {
+  std::vector<BaseRelationDef> rels = TwoRelations();
+  Result<ViewDefinitionPtr> both =
+      ViewDefinition::NaturalJoin("V", rels, {"W", "Y"});
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE((*both)->KeysProjected());
+  EXPECT_TRUE((*both)->HasAllBaseKeys());  // deprecated alias agrees
+
+  Result<ViewDefinitionPtr> missing =
+      ViewDefinition::NaturalJoin("V", rels, {"W", "X"});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE((*missing)->KeysProjected());
+  EXPECT_FALSE((*missing)->HasAllBaseKeys());
+}
+
+TEST(SchemaConstraintsTest, EcaKeyRunsOnDeclaredConstraintsOnly) {
+  // Same schemas but WITHOUT is_key flags; the keys are declared
+  // explicitly instead. ECA-Key must accept the view.
+  Schema r1({{"W", ValueType::kInt}, {"X", ValueType::kInt}});
+  Schema r2({{"X", ValueType::kInt}, {"Y", ValueType::kInt}});
+  std::vector<BaseRelationDef> rels = {{"r1", std::move(r1)},
+                                       {"r2", std::move(r2)}};
+  SchemaConstraints declared;
+  ASSERT_TRUE(declared.DeclareKey({"r1", {"W"}}).ok());
+  ASSERT_TRUE(declared.DeclareKey({"r2", {"Y"}}).ok());
+  Result<ViewDefinitionPtr> view = ViewDefinition::NaturalJoin(
+      "V", rels, {"W", "Y"}, Predicate(), std::move(declared));
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE((*view)->KeysProjected());
+
+  Catalog initial;
+  Relation d1(rels[0].schema), d2(rels[1].schema);
+  d1.Insert(Tuple::Ints({1, 5}));
+  d2.Insert(Tuple::Ints({5, 9}));
+  ASSERT_TRUE(initial.DefineWithData(rels[0], std::move(d1)).ok());
+  ASSERT_TRUE(initial.DefineWithData(rels[1], std::move(d2)).ok());
+
+  EcaKey maintainer(*view);
+  EXPECT_TRUE(maintainer.Initialize(initial).ok());
+}
+
+TEST(SchemaConstraintsTest, FkStarWorkloadDeclaresTheChain) {
+  Random rng(3);
+  Result<Workload> w = MakeFkStarWorkload(FkStarConfig{}, &rng);
+  ASSERT_TRUE(w.ok());
+  const SchemaConstraints& c = w->view->constraints();
+  EXPECT_NE(c.KeyOf("orders"), nullptr);
+  EXPECT_NE(c.KeyOf("parts"), nullptr);
+  EXPECT_NE(c.KeyOf("suppliers"), nullptr);
+  ASSERT_EQ(c.foreign_keys().size(), 2u);
+  EXPECT_TRUE(w->view->KeysProjected());
+  EXPECT_NE(c.ToString().find("fk(orders.P -> parts.P)"), std::string::npos)
+      << c.ToString();
+}
+
+}  // namespace
+}  // namespace wvm

@@ -116,7 +116,7 @@ TEST(SimulationTest, SourceViewNowTracksUpdates) {
 
 TEST(SimulationTest, TraceNarratesEvents) {
   SimulationOptions options;
-  options.record_trace = true;
+  options.instrument.record_trace = true;
   std::unique_ptr<Simulation> sim = Example2Sim(Algorithm::kEca, options);
   BestCasePolicy policy;
   ASSERT_TRUE(RunToQuiescence(sim.get(), &policy).ok());

@@ -247,7 +247,7 @@ TEST(SourceEngineTest, SimulationsConvergeIdenticallyWithEngineOn) {
           SimulationOptions options;
           options.indexes = w->scenario1_indexes;
           options.term_cache.enabled = engine;
-          options.parallel_source_answers = engine;
+          options.engine.parallel_answers = engine;
           std::unique_ptr<Simulation> sim =
               MustMakeSim(w->initial, w->view, algorithm, options);
           sim->SetUpdateScript(schedules[s]);

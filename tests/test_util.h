@@ -13,18 +13,36 @@
 
 namespace wvm {
 
-// Builds a ready-to-run simulation for `algorithm` over the given state,
+// Instantiates a maintainer from its declarative spec, failing the test on
+// any setup error.
+inline std::unique_ptr<ViewMaintainer> MustMakeMaintainer(
+    const MaintainerSpec& spec, ViewDefinitionPtr view) {
+  Result<std::unique_ptr<ViewMaintainer>> maintainer =
+      MakeMaintainer(spec, std::move(view));
+  EXPECT_TRUE(maintainer.ok()) << maintainer.status();
+  return std::move(*maintainer);
+}
+
+// Builds a ready-to-run simulation for `spec` over the given state,
 // failing the test on any setup error.
+inline std::unique_ptr<Simulation> MustMakeSim(
+    const Catalog& initial, ViewDefinitionPtr view, const MaintainerSpec& spec,
+    SimulationOptions options = SimulationOptions()) {
+  std::unique_ptr<ViewMaintainer> maintainer = MustMakeMaintainer(spec, view);
+  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
+      initial, std::move(view), std::move(maintainer), options);
+  EXPECT_TRUE(sim.ok()) << sim.status();
+  return std::move(*sim);
+}
+
+// Algorithm-only convenience over the spec-based overload.
 inline std::unique_ptr<Simulation> MustMakeSim(
     const Catalog& initial, ViewDefinitionPtr view, Algorithm algorithm,
     SimulationOptions options = SimulationOptions(), int rv_period = 1) {
-  Result<std::unique_ptr<ViewMaintainer>> maintainer =
-      MakeMaintainer(algorithm, view, rv_period);
-  EXPECT_TRUE(maintainer.ok()) << maintainer.status();
-  Result<std::unique_ptr<Simulation>> sim = Simulation::Create(
-      initial, std::move(view), std::move(*maintainer), options);
-  EXPECT_TRUE(sim.ok()) << sim.status();
-  return std::move(*sim);
+  MaintainerSpec spec;
+  spec.algorithm = algorithm;
+  spec.rv_period = rv_period;
+  return MustMakeSim(initial, std::move(view), spec, std::move(options));
 }
 
 // Runs a paper example under its designated algorithm with the paper's

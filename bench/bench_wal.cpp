@@ -1,0 +1,206 @@
+// What group commit buys: the fsync count (the real cost of durability on
+// a disk) against commit batch size, over real segment files.
+//
+// 1. Group-commit sweep: N appends of fixed-size payloads at
+//    flush_appends in {1, 4, 16, 64}, fsync on. Write-through
+//    (flush_appends=1) pays one fsync per record; batching divides the
+//    fsync count by the batch size at the price of a longer window of
+//    unsynced tail (the recovery floor synced_end_lsn lags by up to one
+//    batch). Throughput should rise steeply with the batch size.
+// 2. The same sweep with fsync off isolates the buffering cost from the
+//    durability cost: the gap between the two tables IS the fsync bill.
+// 3. Rotation sweep: segment_bytes in {16K, 64K, 256K} at a fixed batch
+//    size — segment count falls, wall time barely moves (rotation is an
+//    open/close, not a copy).
+// 4. Recovery scan: reopen the biggest log and time the full validate
+//    (header + FNV-1a checksum per record).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "recovery/wal.h"
+
+namespace wvm::bench {
+namespace {
+
+constexpr int kRecords = 2000;
+constexpr size_t kPayloadBytes = 128;
+constexpr int kBatchSizes[] = {1, 4, 16, 64};
+constexpr int64_t kSegmentBytes[] = {16 << 10, 64 << 10, 256 << 10};
+
+std::string ScratchDir(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / "wvm-bench-wal" / leaf)
+      .string();
+}
+
+WalOptions Options(const std::string& leaf) {
+  WalOptions options;
+  options.dir = ScratchDir(leaf);
+  options.name = "bench";
+  options.segment_bytes = 256 << 10;
+  // Let flush_appends alone decide the batch size in the sweeps.
+  options.flush_bytes = 1 << 30;
+  std::error_code ec;
+  std::filesystem::remove_all(options.dir, ec);
+  return options;
+}
+
+struct RunResult {
+  WalStats stats;
+  double wall_seconds = 0;
+};
+
+/// Appends kRecords payloads and syncs the tail; dies loudly on error
+/// (this is a bench, not a test).
+RunResult RunAppends(const WalOptions& options) {
+  Result<std::unique_ptr<WalWriter>> wal = WalWriter::Open(options);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "bench_wal: open: %s\n",
+                 wal.status().ToString().c_str());
+    std::abort();
+  }
+  const std::string payload(kPayloadBytes, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRecords; ++i) {
+    Status s = (*wal)->Append(static_cast<uint64_t>(i), payload);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench_wal: append: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  Status sync = (*wal)->Sync();
+  if (!sync.ok()) {
+    std::fprintf(stderr, "bench_wal: sync: %s\n", sync.ToString().c_str());
+    std::abort();
+  }
+  RunResult r;
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.stats = (*wal)->stats();
+  return r;
+}
+
+void GroupCommitSweep(JsonReport* json, bool fsync) {
+  PrintTableHeader(
+      fsync ? "Group commit: fsyncs vs batch size (2000 x 128B, fsync on)"
+            : "Group commit: buffering only (fsync off)",
+      {"flush_appends", "fsyncs", "flushes", "recs/fsync", "wall ms",
+       "MB/s"});
+  for (int batch : kBatchSizes) {
+    WalOptions options =
+        Options((fsync ? "commit-" : "nosync-") + std::to_string(batch));
+    options.flush_appends = batch;
+    options.fsync = fsync;
+    RunResult r = RunAppends(options);
+    const double mb = static_cast<double>(r.stats.appended_bytes) / 1e6;
+    const double recs_per_fsync =
+        r.stats.fsyncs > 0
+            ? static_cast<double>(kRecords) /
+                  static_cast<double>(r.stats.fsyncs)
+            : 0;
+    PrintTableRow({std::to_string(batch), std::to_string(r.stats.fsyncs),
+                   std::to_string(r.stats.flushes), Num(recs_per_fsync),
+                   Num(r.wall_seconds * 1e3), Num(mb / r.wall_seconds)});
+    json->Begin((fsync ? "group_commit/appends=" : "buffer_only/appends=") +
+                std::to_string(batch));
+    json->Metric("fsyncs", r.stats.fsyncs);
+    json->Metric("flushes", r.stats.flushes);
+    json->Metric("records_per_fsync", recs_per_fsync);
+    json->Metric("wall_seconds", r.wall_seconds);
+    json->Metric("mb_per_sec", mb / r.wall_seconds);
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+  }
+}
+
+void RotationSweep(JsonReport* json) {
+  PrintTableHeader("Segment rotation (2000 x 128B, flush_appends=16)",
+                   {"segment KB", "segments", "wall ms"});
+  for (int64_t bytes : kSegmentBytes) {
+    WalOptions options = Options("rotate-" + std::to_string(bytes >> 10));
+    options.flush_appends = 16;
+    options.segment_bytes = bytes;
+    RunResult r = RunAppends(options);
+    PrintTableRow({std::to_string(bytes >> 10),
+                   std::to_string(r.stats.segments_created),
+                   Num(r.wall_seconds * 1e3)});
+    json->Begin("rotation/segment_kb=" + std::to_string(bytes >> 10));
+    json->Metric("segments", r.stats.segments_created);
+    json->Metric("wall_seconds", r.wall_seconds);
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+  }
+}
+
+void RecoveryScan(JsonReport* json) {
+  WalOptions options = Options("recover");
+  options.flush_appends = 16;
+  options.segment_bytes = 64 << 10;
+  RunAppends(options);
+  std::vector<WalRecoveredRecord> recovered;
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<WalWriter>> wal = WalWriter::Open(options, &recovered);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!wal.ok()) {
+    std::fprintf(stderr, "bench_wal: reopen: %s\n",
+                 wal.status().ToString().c_str());
+    std::abort();
+  }
+  PrintTableHeader("Recovery scan (validate every header + checksum)",
+                   {"records", "wall ms", "recs/ms"});
+  PrintTableRow({std::to_string(recovered.size()), Num(wall * 1e3),
+                 Num(static_cast<double>(recovered.size()) / (wall * 1e3))});
+  json->Begin("recovery_scan");
+  json->Metric("recovered_records", static_cast<int64_t>(recovered.size()));
+  json->Metric("wall_seconds", wall);
+  std::error_code ec;
+  std::filesystem::remove_all(options.dir, ec);
+}
+
+void PrintFigure(JsonReport* json) {
+  GroupCommitSweep(json, /*fsync=*/true);
+  GroupCommitSweep(json, /*fsync=*/false);
+  RotationSweep(json);
+  RecoveryScan(json);
+}
+
+void BM_WalAppendSync(benchmark::State& state) {
+  WalOptions options = Options("bm");
+  options.flush_appends = static_cast<int>(state.range(0));
+  Result<std::unique_ptr<WalWriter>> wal = WalWriter::Open(options);
+  if (!wal.ok()) {
+    state.SkipWithError(wal.status().ToString().c_str());
+    return;
+  }
+  const std::string payload(kPayloadBytes, 'x');
+  uint64_t lsn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*wal)->Append(lsn++, payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(lsn * kPayloadBytes));
+  wal->reset();
+  std::error_code ec;
+  std::filesystem::remove_all(options.dir, ec);
+}
+BENCHMARK(BM_WalAppendSync)->ArgNames({"flush_appends"})->Arg(1)->Arg(16);
+
+}  // namespace
+}  // namespace wvm::bench
+
+int main(int argc, char** argv) {
+  wvm::bench::JsonReport json;
+  wvm::bench::PrintFigure(&json);
+  json.WriteFileFromEnv();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,317 @@
+#include "channel/wire_codec.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/byte_io.h"
+
+namespace wvm {
+namespace {
+
+// Variant tags of SourceMessage; stable on-disk values, never reorder.
+constexpr uint8_t kTagUpdateNotification = 0;
+constexpr uint8_t kTagBatchNotification = 1;
+constexpr uint8_t kTagAnswerMessage = 2;
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt:
+      PutI64(out, v.AsInt());
+      break;
+    case ValueType::kDouble:
+      PutDouble(out, v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutBytes(out, v.AsString());
+      break;
+  }
+}
+
+Result<Value> ReadValue(ByteReader* in) {
+  const uint8_t tag = in->ReadU8();
+  switch (tag) {
+    case static_cast<uint8_t>(ValueType::kInt):
+      return Value(in->ReadI64());
+    case static_cast<uint8_t>(ValueType::kDouble):
+      return Value(in->ReadDouble());
+    case static_cast<uint8_t>(ValueType::kString):
+      return Value(std::string(in->ReadBytes()));
+    default:
+      return Status::Internal("wire codec: unknown value type tag");
+  }
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutU32(out, static_cast<uint32_t>(t.size()));
+  for (const Value& v : t.values()) PutValue(out, v);
+}
+
+Result<Tuple> ReadTuple(ByteReader* in) {
+  const uint32_t n = in->ReadU32();
+  if (!in->ok() || n > in->remaining()) {
+    return Status::Internal("wire codec: truncated tuple");
+  }
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WVM_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+void PutSchema(std::string* out, const Schema& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  for (const Attribute& a : s.attributes()) {
+    PutBytes(out, a.name);
+    PutU8(out, static_cast<uint8_t>(a.type));
+    PutU8(out, a.is_key ? 1 : 0);
+  }
+}
+
+Result<Schema> ReadSchema(ByteReader* in) {
+  const uint32_t n = in->ReadU32();
+  if (!in->ok() || n > in->remaining()) {
+    return Status::Internal("wire codec: truncated schema");
+  }
+  std::vector<Attribute> attributes;
+  attributes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Attribute a;
+    a.name = std::string(in->ReadBytes());
+    const uint8_t type = in->ReadU8();
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::Internal("wire codec: unknown attribute type tag");
+    }
+    a.type = static_cast<ValueType>(type);
+    a.is_key = in->ReadU8() != 0;
+    attributes.push_back(std::move(a));
+  }
+  return Schema(std::move(attributes));
+}
+
+void PutRelation(std::string* out, const Relation& r) {
+  PutSchema(out, r.schema());
+  PutU32(out, static_cast<uint32_t>(r.NumDistinct()));
+  for (const auto& [tuple, count] : r.entries()) {
+    PutTuple(out, tuple);
+    PutI64(out, count);
+  }
+}
+
+Result<Relation> ReadRelation(ByteReader* in) {
+  WVM_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
+  const uint32_t n = in->ReadU32();
+  if (!in->ok() || n > in->remaining()) {
+    return Status::Internal("wire codec: truncated relation");
+  }
+  Relation r(std::move(schema));
+  r.Reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WVM_ASSIGN_OR_RETURN(Tuple t, ReadTuple(in));
+    const int64_t count = in->ReadI64();
+    r.Insert(std::move(t), count);
+  }
+  if (!in->ok()) return Status::Internal("wire codec: truncated relation");
+  return r;
+}
+
+void PutUpdate(std::string* out, const Update& u) {
+  PutU8(out, u.kind == UpdateKind::kInsert ? 0 : 1);
+  PutBytes(out, u.relation);
+  PutTuple(out, u.tuple);
+  PutU64(out, u.id);
+}
+
+Result<Update> ReadUpdate(ByteReader* in) {
+  Update u;
+  u.kind = in->ReadU8() == 0 ? UpdateKind::kInsert : UpdateKind::kDelete;
+  u.relation = std::string(in->ReadBytes());
+  WVM_ASSIGN_OR_RETURN(u.tuple, ReadTuple(in));
+  u.id = in->ReadU64();
+  if (!in->ok()) return Status::Internal("wire codec: truncated update");
+  return u;
+}
+
+void PutTerm(std::string* out, const Term& term) {
+  PutI64(out, term.coefficient());
+  PutU64(out, term.delta_update_id());
+  PutU32(out, static_cast<uint32_t>(term.operands().size()));
+  for (const TermOperand& op : term.operands()) {
+    PutU8(out, op.is_bound ? 1 : 0);
+    if (op.is_bound) {
+      PutU8(out, op.bound.sign >= 0 ? 1 : 0);
+      PutTuple(out, op.bound.tuple);
+    }
+  }
+}
+
+Result<Term> ReadTerm(ByteReader* in, const ViewDefinitionPtr& view) {
+  const int64_t coefficient = in->ReadI64();
+  const uint64_t delta_update_id = in->ReadU64();
+  const uint32_t n = in->ReadU32();
+  if (!in->ok() || n > in->remaining()) {
+    return Status::Internal("wire codec: truncated term");
+  }
+  std::vector<TermOperand> operands;
+  operands.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    TermOperand op;
+    op.is_bound = in->ReadU8() != 0;
+    if (op.is_bound) {
+      op.bound.sign = in->ReadU8() != 0 ? +1 : -1;
+      WVM_ASSIGN_OR_RETURN(op.bound.tuple, ReadTuple(in));
+    }
+    operands.push_back(std::move(op));
+  }
+  if (!in->ok()) return Status::Internal("wire codec: truncated term");
+  return Term::WithOperands(view, std::move(operands),
+                            static_cast<int>(coefficient), delta_update_id);
+}
+
+}  // namespace
+
+std::string EncodeRelation(const Relation& r) {
+  std::string out;
+  PutRelation(&out, r);
+  return out;
+}
+
+Result<Relation> DecodeRelation(const std::string& bytes) {
+  ByteReader in(bytes);
+  WVM_ASSIGN_OR_RETURN(Relation r, ReadRelation(&in));
+  if (!in.ok() || !in.AtEnd()) {
+    return Status::Internal("wire codec: malformed relation");
+  }
+  return r;
+}
+
+std::string EncodeUpdate(const Update& u) {
+  std::string out;
+  PutUpdate(&out, u);
+  return out;
+}
+
+Result<Update> DecodeUpdate(const std::string& bytes) {
+  ByteReader in(bytes);
+  WVM_ASSIGN_OR_RETURN(Update u, ReadUpdate(&in));
+  if (!in.ok() || !in.AtEnd()) {
+    return Status::Internal("wire codec: malformed update");
+  }
+  return u;
+}
+
+std::string EncodeSourceMessage(const SourceMessage& m) {
+  std::string out;
+  if (const auto* un = std::get_if<UpdateNotification>(&m)) {
+    PutU8(&out, kTagUpdateNotification);
+    PutUpdate(&out, un->update);
+  } else if (const auto* bn = std::get_if<BatchNotification>(&m)) {
+    PutU8(&out, kTagBatchNotification);
+    PutU32(&out, static_cast<uint32_t>(bn->updates.size()));
+    for (const Update& u : bn->updates) PutUpdate(&out, u);
+  } else {
+    const auto& a = std::get<AnswerMessage>(m);
+    PutU8(&out, kTagAnswerMessage);
+    PutU64(&out, a.query_id);
+    PutU64(&out, a.update_id);
+    PutU32(&out, static_cast<uint32_t>(a.term_delta_tags.size()));
+    for (uint64_t tag : a.term_delta_tags) PutU64(&out, tag);
+    PutU32(&out, static_cast<uint32_t>(a.per_term.size()));
+    for (const Relation& r : a.per_term) PutRelation(&out, r);
+  }
+  return out;
+}
+
+Result<SourceMessage> DecodeSourceMessage(const std::string& bytes) {
+  ByteReader in(bytes);
+  const uint8_t tag = in.ReadU8();
+  SourceMessage m;
+  switch (tag) {
+    case kTagUpdateNotification: {
+      UpdateNotification un;
+      WVM_ASSIGN_OR_RETURN(un.update, ReadUpdate(&in));
+      m = std::move(un);
+      break;
+    }
+    case kTagBatchNotification: {
+      BatchNotification bn;
+      const uint32_t n = in.ReadU32();
+      if (!in.ok() || n > in.remaining()) {
+        return Status::Internal("wire codec: truncated batch notification");
+      }
+      bn.updates.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        WVM_ASSIGN_OR_RETURN(Update u, ReadUpdate(&in));
+        bn.updates.push_back(std::move(u));
+      }
+      m = std::move(bn);
+      break;
+    }
+    case kTagAnswerMessage: {
+      AnswerMessage a;
+      a.query_id = in.ReadU64();
+      a.update_id = in.ReadU64();
+      const uint32_t tags = in.ReadU32();
+      if (!in.ok() || tags > in.remaining()) {
+        return Status::Internal("wire codec: truncated answer tags");
+      }
+      a.term_delta_tags.reserve(tags);
+      for (uint32_t i = 0; i < tags; ++i) {
+        a.term_delta_tags.push_back(in.ReadU64());
+      }
+      const uint32_t terms = in.ReadU32();
+      if (!in.ok() || terms > in.remaining()) {
+        return Status::Internal("wire codec: truncated answer terms");
+      }
+      a.per_term.reserve(terms);
+      for (uint32_t i = 0; i < terms; ++i) {
+        WVM_ASSIGN_OR_RETURN(Relation r, ReadRelation(&in));
+        a.per_term.push_back(std::move(r));
+      }
+      m = std::move(a);
+      break;
+    }
+    default:
+      return Status::Internal("wire codec: unknown source message tag");
+  }
+  if (!in.ok() || !in.AtEnd()) {
+    return Status::Internal("wire codec: malformed source message");
+  }
+  return m;
+}
+
+std::string EncodeQueryMessage(const QueryMessage& m) {
+  std::string out;
+  PutU64(&out, m.query.id());
+  PutU64(&out, m.query.update_id());
+  PutU32(&out, static_cast<uint32_t>(m.query.terms().size()));
+  for (const Term& t : m.query.terms()) PutTerm(&out, t);
+  return out;
+}
+
+Result<QueryMessage> DecodeQueryMessage(const std::string& bytes,
+                                        const ViewDefinitionPtr& view) {
+  ByteReader in(bytes);
+  const uint64_t id = in.ReadU64();
+  const uint64_t update_id = in.ReadU64();
+  const uint32_t n = in.ReadU32();
+  if (!in.ok() || n > in.remaining()) {
+    return Status::Internal("wire codec: truncated query message");
+  }
+  std::vector<Term> terms;
+  terms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WVM_ASSIGN_OR_RETURN(Term t, ReadTerm(&in, view));
+    terms.push_back(std::move(t));
+  }
+  if (!in.ok() || !in.AtEnd()) {
+    return Status::Internal("wire codec: malformed query message");
+  }
+  QueryMessage out;
+  out.query = Query(id, update_id, std::move(terms));
+  return out;
+}
+
+}  // namespace wvm

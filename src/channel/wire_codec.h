@@ -1,0 +1,45 @@
+#ifndef WVM_CHANNEL_WIRE_CODEC_H_
+#define WVM_CHANNEL_WIRE_CODEC_H_
+
+#include <string>
+
+#include "channel/message.h"
+#include "common/result.h"
+#include "query/view_def.h"
+
+namespace wvm {
+
+/// Binary wire codec for the messages the site journals persist. The
+/// ToString renderings are for humans; once journals spill to on-disk WAL
+/// segments (recovery/wal.h) the record image must round-trip, so every
+/// message type the journals carry gets a little-endian binary encoding
+/// (common/byte_io.h) with a matching decoder.
+///
+/// Encoding is self-contained except for queries: a Term holds a pointer to
+/// its ViewDefinition, which both ends of a channel share by construction.
+/// The codec therefore encodes only the term's operands/coefficient/tag and
+/// decodes against the view the caller supplies — exactly the knowledge a
+/// site restarting over its own journal has.
+///
+/// Relation encodings carry the schema and the (tuple, multiplicity) pairs
+/// in container order; order is not canonicalized, because checksums are
+/// computed over the stored append-time image (journal.h), never over a
+/// re-serialization.
+
+std::string EncodeRelation(const Relation& r);
+Result<Relation> DecodeRelation(const std::string& bytes);
+
+std::string EncodeUpdate(const Update& u);
+Result<Update> DecodeUpdate(const std::string& bytes);
+
+/// The single-source channel payloads (recovery/site_log.h journals).
+std::string EncodeSourceMessage(const SourceMessage& m);
+Result<SourceMessage> DecodeSourceMessage(const std::string& bytes);
+
+std::string EncodeQueryMessage(const QueryMessage& m);
+Result<QueryMessage> DecodeQueryMessage(const std::string& bytes,
+                                        const ViewDefinitionPtr& view);
+
+}  // namespace wvm
+
+#endif  // WVM_CHANNEL_WIRE_CODEC_H_

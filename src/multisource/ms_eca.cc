@@ -8,6 +8,10 @@ namespace wvm {
 Status MsEca::Initialize(const Catalog& initial) {
   WVM_RETURN_IF_ERROR(MsMaintainer::Initialize(initial));
   collect_ = Relation(view_->output_schema());
+  // Full reset: Initialize doubles as the recovered-restart entry point
+  // (genesis replay re-initializes and re-consumes the journals), so no
+  // volatile bookkeeping may survive it.
+  pending_.clear();
   return Status::OK();
 }
 

@@ -3,10 +3,10 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "channel/channel.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "consistency/state_log.h"
@@ -14,40 +14,97 @@
 #include "multisource/ms_message.h"
 #include "query/catalog.h"
 #include "query/view_def.h"
+#include "recovery/journal.h"
+#include "transport/fault_config.h"
+#include "transport/transport_channel.h"
 
 namespace wvm {
 
 /// An atomic event of the multi-source system: some site makes one step.
 struct MsAction {
-  enum class Kind { kSourceUpdate, kSourceAnswer, kWarehouseStep };
+  enum class Kind {
+    kSourceUpdate,
+    kSourceAnswer,
+    kWarehouseStep,
+    kTransportTick,  // time passes on every wire at once (faults only)
+  };
   Kind kind;
-  size_t source;  // which source (for kWarehouseStep: which inbound stream)
+  size_t source;  // which source (kTransportTick: unused, always 0)
 };
 
 /// Best-case scheduling priority of an action kind: warehouse steps drain
-/// before answers are produced, answers before new updates start, so each
-/// update's full round trip completes before the next update anywhere.
-/// Higher wins. Deliberately independent of the enum's declaration order —
-/// reordering Kind must not silently change the schedule.
+/// before answers are produced, answers before wire time passes, wire time
+/// before new updates start, so each update's full round trip completes
+/// before the next update anywhere. Higher wins. Deliberately independent
+/// of the enum's declaration order — reordering Kind must not silently
+/// change the schedule.
 int MsActionPriority(MsAction::Kind kind);
 
+/// Crash-restart recovery of the multi-source system. Unlike the
+/// single-source RecoveryOptions there is no checkpoint interval: the
+/// multi-source warehouse recovers by GENESIS REPLAY — the initial merged
+/// state is checkpoint zero, and the consumption-order journal (see below)
+/// re-executes every consumed message in the exact original cross-source
+/// order, which regenerates the same query ids and the same maintainer
+/// state. Requires the reliable transport mode.
+struct MsRecoveryOptions {
+  bool enabled = false;
+  /// Medium backing every journal (per-source inbound/outbound pairs at
+  /// both ends plus the warehouse's consumption-order journal). kFile
+  /// spills them to on-disk WAL segments; requires `enabled`.
+  JournalBackend backend = JournalBackend::kMemory;
+  /// Directory for the kFile segments; empty = fresh temp directory,
+  /// removed when the simulation dies.
+  std::string wal_dir;
+  /// Tuning for the kFile backend; `dir`/`name` are assigned per journal.
+  WalOptions wal;
+};
+
+struct MsSimulationOptions {
+  /// Downlink (source -> warehouse) fault schedule, applied independently
+  /// to every source's channel (per-source salts decorrelate the streams).
+  /// Off by default: plain FIFO channels, byte-identical to the
+  /// pre-transport system.
+  FaultConfig fault;
+  /// Uplink (warehouse -> source fragment-request path) override; must
+  /// agree with `fault` on `enabled` and `reliable`. Unset = symmetric.
+  std::optional<FaultConfig> fault_up;
+  /// Crash-restart recovery: journaling plus the Crash*/Restart* methods'
+  /// recovered-restart path.
+  MsRecoveryOptions recovery;
+};
+
 /// A warehouse integrating N autonomous sources, each with its own
-/// relations, its own update script, and its own FIFO channel pair.
-/// Within a source everything is ordered; across sources nothing is —
-/// realizing the environment Section 7 reserves for future work.
+/// relations, its own update script, and its own channel pair. Within a
+/// source everything is ordered; across sources nothing is — realizing the
+/// environment Section 7 reserves for future work. The channels are
+/// TransportChannels, so the Section 7 schedules compose with the
+/// transport work: per-source faults (asymmetric per direction via
+/// fault_up and FaultConfig::ack) and site crashes.
 ///
 /// The state log records V over the MERGED catalog after every source
 /// update (the global state sequence ss_0, ss_1, ...) and the warehouse
 /// view after every warehouse event, so the single-source consistency
 /// checker applies unchanged — and shows which guarantees survive the
 /// multi-source generalization.
+///
+/// Recovery model (MsRecoveryOptions): base data (the per-source catalogs
+/// and the merged mirror) lives on disk and survives any crash, as in the
+/// single-source model. The warehouse's volatile state — maintainer
+/// bookkeeping, query-id counter, endpoint buffers — is rebuilt by genesis
+/// replay over the per-source inbound journals, sequenced by a global
+/// consumption-order journal of source indices: per-source FIFO makes each
+/// journal's LSN order the per-source consumption order, and the
+/// consumption journal restores the cross-source interleaving, so replay
+/// allocates the same query ids the original run did.
 class MsSimulation {
  public:
   /// Each catalog holds the relations owned by one source; relation names
   /// must be globally unique. The view may span all of them.
   static Result<std::unique_ptr<MsSimulation>> Create(
       std::vector<Catalog> per_source, ViewDefinitionPtr view,
-      std::unique_ptr<MsMaintainer> maintainer);
+      std::unique_ptr<MsMaintainer> maintainer,
+      const MsSimulationOptions& options = {});
 
   ~MsSimulation();  // out of line: Context is incomplete here
 
@@ -60,13 +117,37 @@ class MsSimulation {
   bool CanSourceUpdate(size_t source) const;
   bool CanSourceAnswer(size_t source) const;
   bool CanWarehouseStep(size_t source) const;
+  /// Frames in flight or retransmission timers on any channel. Always
+  /// false with faults disabled.
+  bool CanTransportTick() const;
   bool Quiescent() const;
 
   Status StepSourceUpdate(size_t source);
   Status StepSourceAnswer(size_t source);
   Status StepWarehouse(size_t source);
+  /// Advances every channel one tick (the wires share one clock).
+  Status StepTransportTick();
 
-  /// All currently enabled actions (for policies).
+  // --- Crash-restart (requires reliable transport AND recovery) -------------
+  // A crash is atomic between schedule events: the site's volatile state
+  // vanishes; frames on the wire survive. The warehouse's recovered
+  // restart is a genesis replay (see the class comment); a source restart
+  // re-enqueues delivered-but-unanswered fragment requests from its
+  // inbound journal and re-installs its outbound suffix as the unacked
+  // window (its base data never left the disk).
+
+  bool warehouse_up() const { return warehouse_up_; }
+  bool source_up(size_t source) const { return source_up_[source] != 0; }
+  bool CanCrashWarehouse() const;
+  bool CanCrashSource(size_t source) const;
+
+  Status CrashWarehouse();
+  Status RestartWarehouse();
+  Status CrashSource(size_t source);
+  Status RestartSource(size_t source);
+
+  /// All currently enabled actions (for policies). Crash/restart is driven
+  /// directly, never scheduled.
   std::vector<MsAction> EnabledActions() const;
 
   /// Runs to quiescence choosing uniformly among enabled actions.
@@ -85,26 +166,61 @@ class MsSimulation {
   const StateLog& state_log() const { return state_log_; }
   int64_t fragment_requests() const { return fragment_requests_; }
   int64_t fragment_tuples() const { return fragment_tuples_; }
+  /// Combined transport counters over every channel of every source.
+  TransportStats transport_stats() const;
+  /// Aggregated on-disk WAL counters over every journal (all zero unless
+  /// the backend is kFile).
+  WalStats wal_stats() const;
+  /// Directory holding the WAL segments ("" for the memory backend).
+  const std::string& wal_dir() const { return wal_dir_; }
 
  private:
   class Context;
 
   MsSimulation() = default;
 
+  /// kFile backend: resolves the segment directory and attaches one WAL
+  /// per journal, before any traffic can journal a record.
+  Status AttachWals();
+  Status CheckCrashSupported() const;
+
   ViewDefinitionPtr view_;
+  MsSimulationOptions options_;
   std::unique_ptr<MsMaintainer> maintainer_;
   std::unique_ptr<Context> context_;
   std::vector<Catalog> sources_;
-  Catalog merged_;  // mirror of all sources, for global states
+  Catalog merged_;   // mirror of all sources, for global states
+  Catalog genesis_;  // the initial merged state: replay's checkpoint zero
   std::map<std::string, size_t> owner_;
-  std::vector<Channel<MsSourceMessage>> to_warehouse_;
-  std::vector<Channel<FragmentRequest>> to_source_;
+  // One channel pair per source; unique_ptr because TransportChannel is
+  // pinned (the endpoint holds callbacks into it).
+  std::vector<std::unique_ptr<TransportChannel<MsSourceMessage>>> to_warehouse_;
+  std::vector<std::unique_ptr<TransportChannel<FragmentRequest>>> to_source_;
   std::vector<std::vector<Update>> scripts_;
   std::vector<size_t> cursors_;
   StateLog state_log_;
   uint64_t next_update_id_ = 1;
   int64_t fragment_requests_ = 0;
   int64_t fragment_tuples_ = 0;
+  // Durable recovery state (populated only with recovery enabled). Keyed
+  // by the reliable protocol's per-channel sequence numbers, exactly as in
+  // the single-source site logs.
+  std::vector<Journal<MsSourceMessage>> wh_in_;    // warehouse site, per source
+  std::vector<Journal<FragmentRequest>> wh_out_;   // warehouse site, per source
+  std::vector<Journal<FragmentRequest>> src_in_;   // source site s
+  std::vector<Journal<MsSourceMessage>> src_out_;  // source site s
+  /// Warehouse site: source index of each consumed message, LSN = global
+  /// consumption counter. This is what makes genesis replay deterministic
+  /// across sources.
+  std::optional<Journal<uint64_t>> consumed_order_;
+  std::vector<uint64_t> wh_consumed_;   // frames consumed per source
+  std::vector<uint64_t> src_consumed_;  // requests answered per source
+  uint64_t total_consumed_ = 0;
+  bool warehouse_up_ = true;
+  std::vector<uint8_t> source_up_;
+  bool replaying_ = false;  // suppresses sends/metering/state records
+  std::string wal_dir_;
+  bool owns_wal_dir_ = false;
 };
 
 }  // namespace wvm

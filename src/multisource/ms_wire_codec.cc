@@ -1,0 +1,98 @@
+#include "multisource/ms_wire_codec.h"
+
+#include <utility>
+
+#include "channel/wire_codec.h"
+#include "common/byte_io.h"
+
+namespace wvm {
+namespace {
+
+// Variant tags of MsSourceMessage; stable on-disk values, never reorder.
+constexpr uint8_t kTagMsUpdateNotification = 0;
+constexpr uint8_t kTagMsFragmentAnswer = 1;
+
+}  // namespace
+
+std::string EncodeFragmentRequest(const FragmentRequest& r) {
+  std::string out;
+  PutU64(&out, r.query_id);
+  PutU32(&out, static_cast<uint32_t>(r.relations.size()));
+  for (const std::string& name : r.relations) PutBytes(&out, name);
+  return out;
+}
+
+Result<FragmentRequest> DecodeFragmentRequest(const std::string& bytes) {
+  ByteReader in(bytes);
+  FragmentRequest r;
+  r.query_id = in.ReadU64();
+  const uint32_t n = in.ReadU32();
+  if (!in.ok() || n > in.remaining()) {
+    return Status::Internal("ms wire codec: truncated fragment request");
+  }
+  r.relations.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    r.relations.emplace_back(in.ReadBytes());
+  }
+  if (!in.ok() || !in.AtEnd()) {
+    return Status::Internal("ms wire codec: malformed fragment request");
+  }
+  return r;
+}
+
+std::string EncodeMsSourceMessage(const MsSourceMessage& m) {
+  std::string out;
+  if (const auto* un = std::get_if<UpdateNotification>(&m)) {
+    PutU8(&out, kTagMsUpdateNotification);
+    PutBytes(&out, EncodeUpdate(un->update));
+  } else {
+    const auto& a = std::get<FragmentAnswer>(m);
+    PutU8(&out, kTagMsFragmentAnswer);
+    PutU64(&out, a.query_id);
+    PutU32(&out, static_cast<uint32_t>(a.fragments.size()));
+    for (const auto& [name, relation] : a.fragments) {
+      PutBytes(&out, name);
+      PutBytes(&out, EncodeRelation(relation));
+    }
+  }
+  return out;
+}
+
+Result<MsSourceMessage> DecodeMsSourceMessage(const std::string& bytes) {
+  ByteReader in(bytes);
+  const uint8_t tag = in.ReadU8();
+  MsSourceMessage m;
+  switch (tag) {
+    case kTagMsUpdateNotification: {
+      UpdateNotification un;
+      WVM_ASSIGN_OR_RETURN(un.update,
+                           DecodeUpdate(std::string(in.ReadBytes())));
+      m = std::move(un);
+      break;
+    }
+    case kTagMsFragmentAnswer: {
+      FragmentAnswer a;
+      a.query_id = in.ReadU64();
+      const uint32_t n = in.ReadU32();
+      if (!in.ok() || n > in.remaining()) {
+        return Status::Internal("ms wire codec: truncated fragment answer");
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string name(in.ReadBytes());
+        WVM_ASSIGN_OR_RETURN(Relation r,
+                             DecodeRelation(std::string(in.ReadBytes())));
+        a.fragments.emplace(std::move(name), std::move(r));
+      }
+      m = std::move(a);
+      break;
+    }
+    default:
+      return Status::Internal("ms wire codec: unknown source message tag");
+  }
+  if (!in.ok() || !in.AtEnd()) {
+    return Status::Internal("ms wire codec: malformed source message");
+  }
+  return m;
+}
+
+}  // namespace wvm

@@ -1,0 +1,27 @@
+#ifndef WVM_MULTISOURCE_MS_WIRE_CODEC_H_
+#define WVM_MULTISOURCE_MS_WIRE_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "multisource/ms_message.h"
+
+namespace wvm {
+
+/// Binary wire codec for the multi-source channel payloads, mirroring
+/// channel/wire_codec.h: these are the record images the multi-source site
+/// journals persist (and spill to on-disk WAL segments under the kFile
+/// backend), so every payload gets a little-endian encoding with a
+/// matching decoder. Fragment answers carry whole relation snapshots in
+/// container order — order is not canonicalized, because checksums cover
+/// the stored append-time image, never a re-serialization.
+
+std::string EncodeFragmentRequest(const FragmentRequest& r);
+Result<FragmentRequest> DecodeFragmentRequest(const std::string& bytes);
+
+std::string EncodeMsSourceMessage(const MsSourceMessage& m);
+Result<MsSourceMessage> DecodeMsSourceMessage(const std::string& bytes);
+
+}  // namespace wvm
+
+#endif  // WVM_MULTISOURCE_MS_WIRE_CODEC_H_

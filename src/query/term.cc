@@ -10,6 +10,20 @@ Term::Term(ViewDefinitionPtr view) : view_(std::move(view)) {
 
 Term Term::FromView(ViewDefinitionPtr view) { return Term(std::move(view)); }
 
+Result<Term> Term::WithOperands(ViewDefinitionPtr view,
+                                std::vector<TermOperand> operands,
+                                int coefficient, uint64_t delta_update_id) {
+  if (operands.size() != view->num_relations()) {
+    return Status::InvalidArgument(
+        "term operand count disagrees with the view's relation count");
+  }
+  Term out(std::move(view));
+  out.operands_ = std::move(operands);
+  out.coefficient_ = coefficient;
+  out.delta_update_id_ = delta_update_id;
+  return out;
+}
+
 Term Term::Negated() const {
   Term out = *this;
   out.coefficient_ = -out.coefficient_;

@@ -34,6 +34,14 @@ class Term {
   /// The unsubstituted view expression V as a term (all positions unbound).
   static Term FromView(ViewDefinitionPtr view);
 
+  /// Reassembles a term from its parts — the inverse of taking them apart,
+  /// used by the wire codec (channel/wire_codec.h) when decoding a journaled
+  /// QueryMessage against the receiver's view. `operands` must have exactly
+  /// one entry per view relation.
+  static Result<Term> WithOperands(ViewDefinitionPtr view,
+                                   std::vector<TermOperand> operands,
+                                   int coefficient, uint64_t delta_update_id);
+
   const ViewDefinitionPtr& view() const { return view_; }
   const std::vector<TermOperand>& operands() const { return operands_; }
   int coefficient() const { return coefficient_; }

@@ -105,11 +105,6 @@ class ViewDefinition {
   /// condition of ECA-Key (Section 5.4) and of view-side key-deletes.
   bool KeysProjected() const { return keys_projected_; }
 
-  /// Deprecated alias of KeysProjected(), kept so seed call sites compile;
-  /// the `has_all_base_keys_` bool it used to expose is gone — key metadata
-  /// now lives in constraints().
-  bool HasAllBaseKeys() const { return keys_projected_; }
-
   /// For a view with KeysProjected(): the output-column constraints implied
   /// by deleting/inserting `u.tuple` in `u.relation` — pairs of (output
   /// column index, key value), one per attribute of the relation's declared

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "recovery/wal.h"
 
 namespace wvm {
 
@@ -17,6 +19,11 @@ namespace wvm {
 /// detection a real log gets from per-record CRCs: replay refuses to apply a
 /// record whose stored sum does not match its recomputed one.
 uint64_t JournalChecksum(uint64_t lsn, const std::string& payload);
+
+/// Which medium backs a site's journals: the in-memory model (the default,
+/// byte-identical to the pre-WAL system) or real on-disk WAL segments
+/// (recovery/wal.h) layered underneath the same interface.
+enum class JournalBackend { kMemory, kFile };
 
 /// A write-ahead journal: an append-only log of typed records with explicit
 /// log sequence numbers and per-record checksums.
@@ -30,25 +37,95 @@ uint64_t JournalChecksum(uint64_t lsn, const std::string& payload);
 /// the endpoint assigns (sender) or releases (receiver) sequence numbers.
 ///
 /// Truncation after a checkpoint discards the prefix the checkpoint has made
-/// redundant; everything else is immutable once written (this is an
-/// in-memory model of a disk log, so "durable" means "kept in this object
-/// across a simulated site crash").
+/// redundant; everything else is immutable once written.
+///
+/// Each record keeps the serialized image captured AT APPEND TIME next to
+/// the payload, and Read/Scan validate the stored checksum against that
+/// stored image — never against a re-serialization. (Re-serializing on read
+/// would make validation depend on the serializer being deterministic
+/// across calls, a silent-corruption hazard once the image also lives on
+/// disk and must match byte-for-byte.)
+///
+/// With a WAL attached (AttachWal / OpenFromWal), every append writes the
+/// image through to the on-disk segments BEFORE it is visible in memory —
+/// write-ahead order — and truncation drops whole segments. The in-memory
+/// map remains the read path; the disk is the crash-survivable medium the
+/// fuzz harness kills processes over.
 template <typename Payload>
 class Journal {
  public:
   struct Record {
     Payload payload;
+    /// The serialized bytes of `payload` exactly as appended (the record's
+    /// on-disk image; what the checksum covers).
+    std::string image;
     uint64_t checksum = 0;
   };
 
   /// `serializer` renders a payload into the canonical byte string the
-  /// checksum covers (the stand-in for the record's on-disk image).
+  /// checksum covers (the record's on-disk image).
   using Serializer = std::function<std::string(const Payload&)>;
+  /// Inverse of the serializer, needed only to reopen a journal from its
+  /// on-disk image (OpenFromWal).
+  using Deserializer = std::function<Result<Payload>(const std::string&)>;
 
   explicit Journal(Serializer serializer)
       : serializer_(std::move(serializer)) {}
 
+  /// Attaches a fresh on-disk WAL under this journal (JournalBackend::kFile).
+  /// Must be called before any append; existing segments in the directory
+  /// are an error here — reopening an existing log is OpenFromWal's job.
+  Status AttachWal(const WalOptions& options) {
+    if (wal_ != nullptr) {
+      return Status::FailedPrecondition("journal already has a WAL attached");
+    }
+    if (!records_.empty() || end_lsn_ != 0) {
+      return Status::FailedPrecondition(
+          "journal WAL must be attached before the first append");
+    }
+    std::vector<WalRecoveredRecord> recovered;
+    WVM_ASSIGN_OR_RETURN(auto wal, WalWriter::Open(options, &recovered));
+    if (!recovered.empty()) {
+      return Status::FailedPrecondition(
+          "journal directory already holds records; use OpenFromWal");
+    }
+    wal_ = std::move(wal);
+    return Status::OK();
+  }
+
+  /// Reopens a journal from its on-disk segments: runs WAL recovery (torn
+  /// tail dropped, mid-log corruption refused), decodes every surviving
+  /// image with `deserializer`, and re-validates each record's checksum.
+  static Result<Journal> OpenFromWal(Serializer serializer,
+                                     const Deserializer& deserializer,
+                                     const WalOptions& options) {
+    std::vector<WalRecoveredRecord> recovered;
+    WVM_ASSIGN_OR_RETURN(auto wal, WalWriter::Open(options, &recovered));
+    Journal j(std::move(serializer));
+    for (WalRecoveredRecord& rec : recovered) {
+      Record r;
+      r.checksum = JournalChecksum(rec.lsn, rec.payload);
+      WVM_ASSIGN_OR_RETURN(r.payload, deserializer(rec.payload));
+      r.image = std::move(rec.payload);
+      j.records_.emplace(rec.lsn, std::move(r));
+      j.end_lsn_ = rec.lsn + 1;
+    }
+    j.wal_ = std::move(wal);
+    return j;
+  }
+
+  bool has_wal() const { return wal_ != nullptr; }
+  const WalStats* wal_stats() const {
+    return wal_ ? &wal_->stats() : nullptr;
+  }
+  WalWriter* wal_for_test() { return wal_.get(); }
+
+  /// Forces any group-commit buffered records to disk (no-op without a WAL).
+  Status SyncWal() { return wal_ ? wal_->Sync() : Status::OK(); }
+
   /// Appends one record at exactly `lsn`. LSNs are strictly increasing.
+  /// With a WAL attached the image reaches the disk buffer before the
+  /// record becomes readable here (write-ahead order).
   Status Append(uint64_t lsn, Payload payload) {
     if (!records_.empty() && lsn <= records_.rbegin()->first) {
       return Status::InvalidArgument(
@@ -59,7 +136,11 @@ class Journal {
           "journal append below a truncated or appended LSN");
     }
     Record r;
-    r.checksum = JournalChecksum(lsn, serializer_(payload));
+    r.image = serializer_(payload);
+    r.checksum = JournalChecksum(lsn, r.image);
+    if (wal_ != nullptr) {
+      WVM_RETURN_IF_ERROR(wal_->Append(lsn, r.image));
+    }
     r.payload = std::move(payload);
     records_.emplace(lsn, std::move(r));
     end_lsn_ = lsn + 1;
@@ -76,14 +157,14 @@ class Journal {
   /// One past the highest LSN ever appended (survives truncation).
   uint64_t end_lsn() const { return end_lsn_; }
 
-  /// Reads the record at `lsn`, validating its checksum.
+  /// Reads the record at `lsn`, validating its checksum against the stored
+  /// append-time image.
   Result<const Payload*> Read(uint64_t lsn) const {
     auto it = records_.find(lsn);
     if (it == records_.end()) {
       return Status::NotFound("no journal record at the requested LSN");
     }
-    if (JournalChecksum(lsn, serializer_(it->second.payload)) !=
-        it->second.checksum) {
+    if (JournalChecksum(lsn, it->second.image) != it->second.checksum) {
       return Status::Internal("journal record failed checksum validation");
     }
     return &it->second.payload;
@@ -96,7 +177,7 @@ class Journal {
               const std::function<Status(uint64_t, const Payload&)>& fn) const {
     for (auto it = records_.lower_bound(from_lsn);
          it != records_.end() && it->first < to_lsn; ++it) {
-      if (JournalChecksum(it->first, serializer_(it->second.payload)) !=
+      if (JournalChecksum(it->first, it->second.image) !=
           it->second.checksum) {
         return Status::Internal(
             "journal record failed checksum validation during replay");
@@ -107,9 +188,20 @@ class Journal {
   }
 
   /// Discards every record with LSN < floor — called once a checkpoint has
-  /// folded that prefix into durable site state.
-  void TruncateBelow(uint64_t floor) {
+  /// folded that prefix into durable site state. A floor above end_lsn() is
+  /// rejected: nothing past the end can have been checkpointed, and
+  /// accepting it would silently erase the whole retained log while leaving
+  /// end_lsn() behind the caller's idea of the floor.
+  Status TruncateBelow(uint64_t floor) {
+    if (floor > end_lsn_) {
+      return Status::InvalidArgument(
+          "journal truncation floor is above the log's end LSN");
+    }
     records_.erase(records_.begin(), records_.lower_bound(floor));
+    if (wal_ != nullptr) {
+      WVM_RETURN_IF_ERROR(wal_->TruncateBelow(floor));
+    }
+    return Status::OK();
   }
 
   /// Test hook: damages the stored checksum of the record at `lsn`,
@@ -125,6 +217,10 @@ class Journal {
   Serializer serializer_;
   std::map<uint64_t, Record> records_;
   uint64_t end_lsn_ = 0;
+  /// Shared (not unique) so Journal stays copyable; copies of a WAL-backed
+  /// journal alias the same writer, which no current caller does — site
+  /// logs and replicas own their journals by value and never copy them.
+  std::shared_ptr<WalWriter> wal_;
 };
 
 }  // namespace wvm

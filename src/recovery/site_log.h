@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "channel/message.h"
+#include "channel/wire_codec.h"
 #include "core/warehouse.h"
 #include "query/catalog.h"
 #include "recovery/journal.h"
@@ -68,10 +69,13 @@ struct SourceCheckpoint {
 /// The warehouse's durable state. Inbound records are source messages
 /// (notifications and answers) keyed by the source->warehouse data seq;
 /// outbound records are queries keyed by the warehouse->source data seq.
+/// Record images are the binary wire encoding (channel/wire_codec.h), so the
+/// same image that is checksummed in memory round-trips through the on-disk
+/// WAL backend.
 struct WarehouseSiteLog {
   WarehouseSiteLog()
-      : inbound([](const SourceMessage& m) { return SourceMessageToString(m); }),
-        outbound([](const QueryMessage& m) { return m.ToString(); }) {}
+      : inbound([](const SourceMessage& m) { return EncodeSourceMessage(m); }),
+        outbound([](const QueryMessage& m) { return EncodeQueryMessage(m); }) {}
 
   Journal<SourceMessage> inbound;
   Journal<QueryMessage> outbound;
@@ -87,8 +91,8 @@ struct WarehouseSiteLog {
 /// the updates the checkpointed storage is missing.
 struct SourceSiteLog {
   SourceSiteLog()
-      : inbound([](const QueryMessage& m) { return m.ToString(); }),
-        outbound([](const SourceMessage& m) { return SourceMessageToString(m); }) {}
+      : inbound([](const QueryMessage& m) { return EncodeQueryMessage(m); }),
+        outbound([](const SourceMessage& m) { return EncodeSourceMessage(m); }) {}
 
   Journal<QueryMessage> inbound;
   Journal<SourceMessage> outbound;

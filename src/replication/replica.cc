@@ -136,7 +136,7 @@ Status Replica::Checkpoint() {
   ckpt.applied_floor = applied_lsn_;
   ckpt.next_query_id = warehouse_->next_query_id();
   checkpoint_ = std::move(ckpt);
-  journal_.TruncateBelow(applied_lsn_);
+  WVM_RETURN_IF_ERROR(journal_.TruncateBelow(applied_lsn_));
   applied_since_checkpoint_ = 0;
   return Status::OK();
 }

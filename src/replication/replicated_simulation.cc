@@ -128,7 +128,7 @@ void ReplicatedSimulation::MaybeSettleWrites() {
   }
 }
 
-void ReplicatedSimulation::TrimHistory() {
+Status ReplicatedSimulation::TrimHistory() {
   uint64_t floor = sequencer_.head_lsn();
   for (const auto& replica : replicas_) {
     // A replica without a checkpoint (never created — impossible after
@@ -139,7 +139,7 @@ void ReplicatedSimulation::TrimHistory() {
                                           : 0;
     floor = std::min(floor, f);
   }
-  sequencer_.TrimHistoryBelow(floor);
+  return sequencer_.TrimHistoryBelow(floor);
 }
 
 bool ReplicatedSimulation::Serving(int r) const {
@@ -233,8 +233,7 @@ Status ReplicatedSimulation::StepReplicaApply(int r) {
     return Status::FailedPrecondition("replica apply not enabled");
   }
   WVM_RETURN_IF_ERROR(replicas_[r]->ApplyFromChannel(sequencer_.channel(r)));
-  TrimHistory();
-  return Status::OK();
+  return TrimHistory();
 }
 
 Status ReplicatedSimulation::StepCatchUp(int r) {
@@ -257,8 +256,7 @@ Status ReplicatedSimulation::StepCatchUp(int r) {
                StrCat(rep.name(), " rejoined in group at LSN ",
                       rep.applied_lsn()));
   }
-  TrimHistory();
-  return Status::OK();
+  return TrimHistory();
 }
 
 Status ReplicatedSimulation::StepHeartbeatRound() {

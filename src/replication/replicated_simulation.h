@@ -192,7 +192,7 @@ class ReplicatedSimulation {
   void MaybeSettleWrites();
 
   /// Advances the group history floor to the lowest checkpoint floor.
-  void TrimHistory();
+  Status TrimHistory();
 
   /// Whether replica `r` may serve reads right now.
   bool Serving(int r) const;

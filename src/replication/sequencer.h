@@ -68,7 +68,9 @@ class Sequencer {
 
   /// Discards history below `floor` once every replica's checkpoint covers
   /// it (no possible catch-up can start lower).
-  void TrimHistoryBelow(uint64_t floor) { history_.TruncateBelow(floor); }
+  Status TrimHistoryBelow(uint64_t floor) {
+    return history_.TruncateBelow(floor);
+  }
 
   /// Stops broadcasting to endpoint `r` and drops its retransmission
   /// state. Idempotent.

@@ -1,6 +1,10 @@
 #include "sim/simulation.h"
 
+#include <stdlib.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <vector>
 
 #include "common/strings.h"
 #include "query/compiled_plan.h"
@@ -24,6 +28,20 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   }
   if (options.recovery.checkpoint_every < 0) {
     return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if (options.recovery.backend == JournalBackend::kFile &&
+      !options.recovery.enabled) {
+    return Status::InvalidArgument(
+        "the file journal backend requires recovery to be enabled");
+  }
+  if (options.fault_up.has_value() &&
+      (options.fault_up->enabled != options.fault.enabled ||
+       options.fault_up->reliable != options.fault.reliable)) {
+    // The two directions are halves of one conversation; mixing a reliable
+    // downlink with a raw uplink (or faulted with passthrough) would make
+    // crash semantics undefined for one of the endpoint halves.
+    return Status::InvalidArgument(
+        "fault_up must agree with fault on enabled and reliable");
   }
   // The toggle is process-global (the evaluator has no per-call context);
   // simulations select their path at creation, which also covers every
@@ -80,8 +98,16 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
     WVM_RETURN_IF_ERROR(
         sim->to_warehouse_.Configure(options.fault, /*salt=*/1,
                                      std::move(down_hooks)));
-    WVM_RETURN_IF_ERROR(sim->to_source_.Configure(options.fault, /*salt=*/2,
+    const FaultConfig& up_fault =
+        options.fault_up.has_value() ? *options.fault_up : options.fault;
+    WVM_RETURN_IF_ERROR(sim->to_source_.Configure(up_fault, /*salt=*/2,
                                                   std::move(up_hooks)));
+  }
+  if (options.recovery.enabled &&
+      options.recovery.backend == JournalBackend::kFile) {
+    // Spill the four site-log journals to on-disk segments before any
+    // traffic can journal a record (AttachWal refuses otherwise).
+    WVM_RETURN_IF_ERROR(sim->AttachSiteLogWals());
   }
   SourceConfig source_config;
   source_config.physical = options.physical;
@@ -114,6 +140,76 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
     WVM_RETURN_IF_ERROR(sim->CheckpointSource());
   }
   return sim;
+}
+
+Simulation::~Simulation() {
+  if (!owns_wal_dir_) {
+    return;
+  }
+  // Close the WAL writers first (their destructors flush and release the
+  // fds), then take the temp directory with them.
+  wh_log_ = WarehouseSiteLog();
+  src_log_ = SourceSiteLog();
+  std::error_code ec;
+  std::filesystem::remove_all(wal_dir_, ec);  // best-effort cleanup
+}
+
+Status Simulation::AttachSiteLogWals() {
+  namespace fs = std::filesystem;
+  if (options_.recovery.wal_dir.empty()) {
+    std::error_code ec;
+    const fs::path base = fs::temp_directory_path(ec);
+    if (ec) {
+      return Status::Internal("no temp directory for WAL segments: " +
+                              ec.message());
+    }
+    std::string tmpl = (base / "wvm-wal-XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      return Status::Internal("mkdtemp failed for the WAL directory");
+    }
+    wal_dir_ = buf.data();
+    owns_wal_dir_ = true;
+  } else {
+    wal_dir_ = options_.recovery.wal_dir;
+  }
+  // One shared directory; the per-journal name prefix keeps each journal's
+  // segment scan blind to the other three.
+  const auto wal_options = [this](const char* name) {
+    WalOptions o = options_.recovery.wal;
+    o.dir = wal_dir_;
+    o.name = name;
+    return o;
+  };
+  WVM_RETURN_IF_ERROR(wh_log_.inbound.AttachWal(wal_options("wh-in")));
+  WVM_RETURN_IF_ERROR(wh_log_.outbound.AttachWal(wal_options("wh-out")));
+  WVM_RETURN_IF_ERROR(src_log_.inbound.AttachWal(wal_options("src-in")));
+  WVM_RETURN_IF_ERROR(src_log_.outbound.AttachWal(wal_options("src-out")));
+  return Status::OK();
+}
+
+WalStats Simulation::wal_stats() const {
+  WalStats total;
+  const auto add = [&total](const WalStats* s) {
+    if (s == nullptr) {
+      return;
+    }
+    total.appends += s->appends;
+    total.appended_bytes += s->appended_bytes;
+    total.flushes += s->flushes;
+    total.fsyncs += s->fsyncs;
+    total.segments_created += s->segments_created;
+    total.segments_dropped += s->segments_dropped;
+    total.recovered_records += s->recovered_records;
+    total.torn_records_dropped += s->torn_records_dropped;
+    total.torn_bytes_dropped += s->torn_bytes_dropped;
+  };
+  add(wh_log_.inbound.wal_stats());
+  add(wh_log_.outbound.wal_stats());
+  add(src_log_.inbound.wal_stats());
+  add(src_log_.outbound.wal_stats());
+  return total;
 }
 
 void Simulation::SetUpdateScript(std::vector<Update> script) {
@@ -511,8 +607,9 @@ Status Simulation::CheckpointWarehouse() {
   wh_log_.checkpoint = std::move(ckpt);
   // Consumed inbound frames are folded into the snapshot; outbound frames
   // below the cumulative ack can never be needed for re-send.
-  wh_log_.inbound.TruncateBelow(wh_log_.consumed);
-  wh_log_.outbound.TruncateBelow(to_source_.acked_floor());
+  WVM_RETURN_IF_ERROR(wh_log_.inbound.TruncateBelow(wh_log_.consumed));
+  WVM_RETURN_IF_ERROR(
+      wh_log_.outbound.TruncateBelow(to_source_.acked_floor()));
   wh_log_.events_since_checkpoint = 0;
   return Status::OK();
 }
@@ -530,10 +627,11 @@ Status Simulation::CheckpointSource() {
   ckpt.consumed_floor = src_log_.consumed;
   ckpt.outbound_floor = src_log_.outbound.end_lsn();
   src_log_.checkpoint = std::move(ckpt);
-  src_log_.inbound.TruncateBelow(src_log_.consumed);
+  WVM_RETURN_IF_ERROR(src_log_.inbound.TruncateBelow(src_log_.consumed));
   // Keep everything at or above the cumulative ack: the un-acked suffix is
   // both the re-send set and (above outbound_floor) the replay range.
-  src_log_.outbound.TruncateBelow(to_warehouse_.acked_floor());
+  WVM_RETURN_IF_ERROR(
+      src_log_.outbound.TruncateBelow(to_warehouse_.acked_floor()));
   src_log_.events_since_checkpoint = 0;
   return Status::OK();
 }

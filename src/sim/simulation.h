@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,20 @@ struct RecoveryOptions {
   /// Auto-checkpoint a site after this many consumed events (0 = only the
   /// initial checkpoint and explicit Checkpoint*() calls).
   int checkpoint_every = 0;
+  /// Medium backing the four site-log journals. kMemory (default) keeps the
+  /// pre-WAL in-memory model; kFile spills every journal to real on-disk WAL
+  /// segments (recovery/wal.h) underneath the same Journal interface —
+  /// appends write through before becoming visible, checkpoints drop whole
+  /// segments. Requires `enabled`.
+  JournalBackend backend = JournalBackend::kMemory;
+  /// Directory for the kFile backend's segments (one shared directory; each
+  /// journal uses a distinct file-name prefix). Empty = a fresh temp
+  /// directory, created at Create and removed when the Simulation dies.
+  std::string wal_dir;
+  /// Tuning for the kFile backend (segment size, group-commit thresholds,
+  /// fsync). `dir` and `name` here are ignored — the simulation assigns
+  /// them per journal from `wal_dir`.
+  WalOptions wal;
 };
 
 /// How the source engine and the warehouse data plane execute — grouped so
@@ -103,6 +118,14 @@ struct SimulationOptions {
   /// warehouse->source). Off by default: the channels stay plain FIFO and
   /// every run is byte-identical to the pre-transport system.
   FaultConfig fault;
+  /// Per-direction asymmetry: when set, the uplink (warehouse->source
+  /// query path) uses this schedule instead of `fault`, which then governs
+  /// only the downlink. Must agree with `fault` on `enabled` and
+  /// `reliable` — the two directions are halves of one conversation and
+  /// cannot mix transport modes. Each FaultConfig can additionally skew its
+  /// own ack path via FaultConfig::ack, so "lossy uplink, clean downlink"
+  /// and "clean data, lossy acks" are both expressible.
+  std::optional<FaultConfig> fault_up;
   /// Crash-restart recovery: journaling, checkpoints, and the kCrash /
   /// kRestart actions' recovered-restart path.
   RecoveryOptions recovery;
@@ -118,6 +141,10 @@ class Simulation {
       const Catalog& initial, ViewDefinitionPtr view,
       std::unique_ptr<ViewMaintainer> maintainer,
       const SimulationOptions& options);
+
+  /// Closes the site-log WALs and removes the temp segment directory when
+  /// the simulation created one (RecoveryOptions::wal_dir empty).
+  ~Simulation();
 
   /// Sets the updates the source will execute, in order, grouped into
   /// batches of SimulationOptions::batch_size. Ids are assigned at
@@ -211,6 +238,11 @@ class Simulation {
     return s;
   }
   const IOStats& io_stats() const { return source_->io_stats(); }
+  /// Aggregated on-disk WAL counters over the four site-log journals (all
+  /// zero unless RecoveryOptions::backend is kFile).
+  WalStats wal_stats() const;
+  /// Directory holding the WAL segments ("" for the memory backend).
+  const std::string& wal_dir() const { return wal_dir_; }
   const StateLog& state_log() const { return state_log_; }
   const Trace& trace() const { return trace_; }
   size_t updates_remaining() const;
@@ -228,6 +260,10 @@ class Simulation {
   Status RecordSourceState();
   void RecordWarehouseState();
 
+  /// kFile backend: resolves the segment directory (temp when unset) and
+  /// attaches one WAL per site-log journal. Called by Create before any
+  /// traffic can journal a record.
+  Status AttachSiteLogWals();
   /// Shared precondition of every crash/restart entry point.
   Status CheckCrashSupported() const;
   /// Recovered-restart bodies (recovery mode only).
@@ -255,6 +291,8 @@ class Simulation {
   // only in recovery mode, and the only site state a kCrash leaves intact.
   WarehouseSiteLog wh_log_;
   SourceSiteLog src_log_;
+  std::string wal_dir_;          // non-empty iff the kFile backend is active
+  bool owns_wal_dir_ = false;    // Create made a temp dir; destructor removes
   bool warehouse_up_ = true;
   bool source_up_ = true;
   bool replaying_ = false;  // suppresses state-log records during replay

@@ -19,6 +19,25 @@ namespace wvm {
 /// Default-constructed (enabled == false) the transport is a byte-exact
 /// passthrough to the plain FIFO channel: all paper experiments and tests
 /// are unaffected unless they opt in.
+/// Per-path fault overrides for the reverse (ack) path of a reliable
+/// endpoint. Real links are rarely symmetric — a lossy uplink can carry a
+/// clean downlink's acks and vice versa — and the retransmission behavior
+/// under ack-only loss is exactly the regression surface this isolates.
+/// A negative value inherits the corresponding forward-path knob.
+struct AckPathFaults {
+  double drop_rate = -1.0;
+  double duplicate_rate = -1.0;
+  double reorder_rate = -1.0;
+  int max_delay_ticks = -1;
+  int reorder_window_ticks = -1;
+
+  /// True if any knob is overridden.
+  bool any() const {
+    return drop_rate >= 0.0 || duplicate_rate >= 0.0 || reorder_rate >= 0.0 ||
+           max_delay_ticks >= 0 || reorder_window_ticks >= 0;
+  }
+};
+
 struct FaultConfig {
   /// Master switch. Off = plain FIFO channel, no RNG is ever consumed.
   bool enabled = false;
@@ -57,6 +76,31 @@ struct FaultConfig {
   bool retransmit_backoff = true;
   /// Maximum multiplier the backoff may reach (>= 1).
   int retransmit_backoff_cap = 8;
+
+  /// Asymmetric faults within this direction: overrides applied to the ack
+  /// path only (the data path uses the knobs above).
+  AckPathFaults ack;
+
+  /// RTT-estimating adaptive retransmission timeout (Jacobson/Karn): the
+  /// endpoint smooths SRTT/RTTVAR from acks of never-retransmitted frames
+  /// and uses SRTT + 4*RTTVAR as the timeout base, demoting
+  /// `retransmit_timeout_ticks` to the initial estimate (before the first
+  /// sample). The estimate is floored at the config's own worst-case RTT
+  /// bound (MaxRoundTripTicks() + 1), which keeps the drop-free invariant
+  /// exact: with drop_rate 0 on both paths, no frame is ever retransmitted.
+  /// Exponential backoff on expiry still applies on top.
+  bool adaptive_rto = false;
+  /// Hard lower bound of the adaptive timeout, in ticks (>= 1).
+  int rto_min_ticks = 1;
+
+  /// The effective fault schedule of the ack path: this config with any
+  /// AckPathFaults overrides applied.
+  FaultConfig ForAckPath() const;
+
+  /// Upper bound on one round trip under this config: worst data-path
+  /// delivery delay (base delay + reorder hold-back) plus worst ack-path
+  /// delay. An adaptive RTO above this can never fire spuriously.
+  int MaxRoundTripTicks() const;
 
   /// Rates in range, positive timeout, and — when the protocol is on — a
   /// drop rate that leaves retransmission a path to success.

@@ -85,8 +85,9 @@ class ReliableEndpoint {
                    TransportHooks<T> hooks)
       : config_(config),
         data_(config, salt * 2 + 1),
-        ack_(config, salt * 2 + 2),
-        hooks_(std::move(hooks)) {}
+        ack_(config.ForAckPath(), salt * 2 + 2),
+        hooks_(std::move(hooks)),
+        rto_floor_(static_cast<uint64_t>(config.MaxRoundTripTicks()) + 1) {}
 
   void Send(T message) {
     WVM_REQUIRE(!sender_down_, "Send() on a crashed sender");
@@ -94,7 +95,7 @@ class ReliableEndpoint {
     if (hooks_.on_send) {
       hooks_.on_send(seq, message);  // write-ahead: journal before the wire
     }
-    unacked_.emplace(seq, Unacked{message, now_});
+    unacked_.emplace(seq, Unacked{message, now_, now_, false});
     data_.Send(DataFrame{seq, std::move(message)});
     RearmTimer();
     Pump();
@@ -140,6 +141,7 @@ class ReliableEndpoint {
           continue;
         }
         frame.last_send = now_;
+        frame.retransmitted = true;  // Karn: its ack no longer samples RTT
         retransmitted = true;
         int64_t bytes =
             hooks_.byte_size ? hooks_.byte_size(frame.payload) : 0;
@@ -160,10 +162,12 @@ class ReliableEndpoint {
     Pump();
   }
 
-  /// The effective retransmission timeout right now: the configured base,
-  /// scaled by the current (capped) backoff multiplier.
+  /// The effective retransmission timeout right now: the timeout base —
+  /// fixed `retransmit_timeout_ticks`, or the Jacobson estimate once
+  /// adaptive RTO has a sample — scaled by the current (capped) backoff
+  /// multiplier.
   uint64_t CurrentTimeout() const {
-    uint64_t base = static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+    uint64_t base = TimeoutBase();
     uint64_t capped = backoff_multiplier_;
     uint64_t cap = static_cast<uint64_t>(config_.retransmit_backoff_cap);
     if (capped > cap) {
@@ -171,6 +175,13 @@ class ReliableEndpoint {
     }
     return base * capped;
   }
+
+  /// Adaptive-RTO introspection (tests and the transport bench).
+  bool HasRttSample() const { return have_rtt_sample_; }
+  double SmoothedRtt() const { return srtt_; }
+  double RttVariance() const { return rttvar_; }
+  /// The spurious-retransmission floor: the config's worst-case RTT + 1.
+  uint64_t RtoFloor() const { return rto_floor_; }
 
   // --- Crash-restart support (recovery subsystem) ---------------------------
 
@@ -181,6 +192,11 @@ class ReliableEndpoint {
     unacked_.clear();
     timer_armed_ = false;
     backoff_multiplier_ = 1;
+    // The RTT estimator is volatile sender state too; a restarted sender
+    // begins again from the initial estimate.
+    have_rtt_sample_ = false;
+    srtt_ = 0.0;
+    rttvar_ = 0.0;
   }
 
   /// Bare restart (no recovery journal): the sender resumes with an empty
@@ -206,7 +222,9 @@ class ReliableEndpoint {
         hooks_.on_retransmit(bytes);
       }
       data_.Send(DataFrame{seq, payload});
-      unacked_.emplace(seq, Unacked{std::move(payload), now_});
+      // A re-installed frame counts as retransmitted: Karn's rule excludes
+      // its eventual ack from RTT sampling.
+      unacked_.emplace(seq, Unacked{std::move(payload), now_, now_, true});
     }
     backoff_multiplier_ = 1;
     RearmTimer();
@@ -263,6 +281,10 @@ class ReliableEndpoint {
     s += ack_.stats();
     return s;
   }
+  /// Per-path counters, so asymmetric-fault tests can pin which link
+  /// dropped what.
+  const LinkStats& data_link_stats() const { return data_.stats(); }
+  const LinkStats& ack_link_stats() const { return ack_.stats(); }
 
  private:
   struct DataFrame {
@@ -274,8 +296,51 @@ class ReliableEndpoint {
   };
   struct Unacked {
     T payload;
-    uint64_t last_send = 0;  // transport tick of the latest transmission
+    uint64_t last_send = 0;   // transport tick of the latest transmission
+    uint64_t first_send = 0;  // transport tick of the original transmission
+    /// Ever re-sent? Karn's rule: an acked-after-retransmission frame gives
+    /// no RTT sample (the ack could belong to either copy).
+    bool retransmitted = false;
   };
+
+  /// The unscaled timeout: the Jacobson estimate (SRTT + 4*RTTVAR, floored
+  /// at rto_min_ticks and at the worst-case-RTT floor) when adaptive RTO is
+  /// on and has a sample; the configured base otherwise. Before the first
+  /// sample the configured base serves as the initial estimate, still
+  /// floored so a too-eager initial guess cannot fire spuriously.
+  uint64_t TimeoutBase() const {
+    if (!config_.adaptive_rto) {
+      return static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+    }
+    uint64_t base;
+    if (have_rtt_sample_) {
+      double estimate = srtt_ + 4.0 * rttvar_;
+      base = static_cast<uint64_t>(estimate) + 1;  // ceil to a full tick
+    } else {
+      base = static_cast<uint64_t>(config_.retransmit_timeout_ticks);
+    }
+    if (base < static_cast<uint64_t>(config_.rto_min_ticks)) {
+      base = static_cast<uint64_t>(config_.rto_min_ticks);
+    }
+    if (base < rto_floor_) {
+      base = rto_floor_;
+    }
+    return base;
+  }
+
+  /// Jacobson smoothing (alpha = 1/8, beta = 1/4) over one RTT sample.
+  void ObserveRttSample(uint64_t sample_ticks) {
+    const double sample = static_cast<double>(sample_ticks);
+    if (!have_rtt_sample_) {
+      srtt_ = sample;
+      rttvar_ = sample / 2.0;
+      have_rtt_sample_ = true;
+      return;
+    }
+    const double err = srtt_ - sample;
+    rttvar_ = 0.75 * rttvar_ + 0.25 * (err < 0 ? -err : err);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
 
   /// Re-arms the retransmission timer from the oldest outstanding
   /// transmission: due = min(last_send) + current timeout. Disarms when the
@@ -347,7 +412,15 @@ class ReliableEndpoint {
         continue;  // ack for a crashed sender: discarded
       }
       size_t before = unacked_.size();
-      unacked_.erase(unacked_.begin(), unacked_.lower_bound(a.cumulative));
+      auto end = unacked_.lower_bound(a.cumulative);
+      if (config_.adaptive_rto) {
+        for (auto it = unacked_.begin(); it != end; ++it) {
+          if (!it->second.retransmitted) {
+            ObserveRttSample(now_ - it->second.first_send);
+          }
+        }
+      }
+      unacked_.erase(unacked_.begin(), end);
       if (unacked_.size() != before) {
         // Ack progress: the path works again, drop the backoff.
         backoff_multiplier_ = 1;
@@ -374,6 +447,11 @@ class ReliableEndpoint {
   uint64_t backoff_multiplier_ = 1;
   bool sender_down_ = false;
   uint64_t now_ = 0;
+  // Adaptive RTO estimator (sender-volatile, Jacobson/Karn).
+  bool have_rtt_sample_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  uint64_t rto_floor_ = 1;
 
   // Receiver state (volatile at the receiving site).
   uint64_t next_expected_ = 0;

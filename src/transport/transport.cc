@@ -5,6 +5,25 @@
 
 namespace wvm {
 
+FaultConfig FaultConfig::ForAckPath() const {
+  FaultConfig out = *this;
+  if (ack.drop_rate >= 0.0) out.drop_rate = ack.drop_rate;
+  if (ack.duplicate_rate >= 0.0) out.duplicate_rate = ack.duplicate_rate;
+  if (ack.reorder_rate >= 0.0) out.reorder_rate = ack.reorder_rate;
+  if (ack.max_delay_ticks >= 0) out.max_delay_ticks = ack.max_delay_ticks;
+  if (ack.reorder_window_ticks >= 0) {
+    out.reorder_window_ticks = ack.reorder_window_ticks;
+  }
+  out.ack = AckPathFaults();  // overrides are consumed, never nested
+  return out;
+}
+
+int FaultConfig::MaxRoundTripTicks() const {
+  const FaultConfig ack_path = ForAckPath();
+  return max_delay_ticks + reorder_window_ticks + ack_path.max_delay_ticks +
+         ack_path.reorder_window_ticks;
+}
+
 Status FaultConfig::Validate() const {
   auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
   if (!rate_ok(drop_rate) || !rate_ok(duplicate_rate) ||
@@ -14,6 +33,18 @@ Status FaultConfig::Validate() const {
   if (max_delay_ticks < 0 || reorder_window_ticks < 0) {
     return Status::InvalidArgument("fault delays must be non-negative");
   }
+  if (ack.any()) {
+    const FaultConfig ack_path = ForAckPath();
+    if (!rate_ok(ack_path.drop_rate) || !rate_ok(ack_path.duplicate_rate) ||
+        !rate_ok(ack_path.reorder_rate)) {
+      return Status::InvalidArgument("ack-path fault rates must lie in [0, 1]");
+    }
+    if (reliable && ack_path.drop_rate >= 1.0) {
+      // Acks can never get through: the sender retransmits forever.
+      return Status::InvalidArgument(
+          "reliable delivery requires an ack-path drop rate < 1");
+    }
+  }
   if (retransmit_timeout_ticks < 1) {
     return Status::InvalidArgument(
         "retransmit_timeout_ticks must be at least 1");
@@ -21,6 +52,9 @@ Status FaultConfig::Validate() const {
   if (retransmit_backoff_cap < 1) {
     return Status::InvalidArgument(
         "retransmit_backoff_cap must be at least 1");
+  }
+  if (rto_min_ticks < 1) {
+    return Status::InvalidArgument("rto_min_ticks must be at least 1");
   }
   if (reliable && drop_rate >= 1.0) {
     // With every frame dropped, retransmission can never succeed and the
@@ -41,7 +75,9 @@ std::string FaultConfig::ToString() const {
                 ", delay<=", std::to_string(max_delay_ticks),
                 ", seed=", std::to_string(seed),
                 reliable ? ", reliable" : ", raw",
-                reliable && retransmit_backoff ? ", backoff" : "", "}");
+                reliable && retransmit_backoff ? ", backoff" : "",
+                reliable && adaptive_rto ? ", adaptive-rto" : "",
+                ack.any() ? ", asym-ack" : "", "}");
 }
 
 namespace internal {

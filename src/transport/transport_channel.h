@@ -168,6 +168,18 @@ class TransportChannel {
   uint64_t next_expected() const { return Reliable().next_expected(); }
   uint64_t CurrentTimeout() const { return Reliable().CurrentTimeout(); }
 
+  // --- Adaptive-RTO and per-path introspection (reliable mode only) ---------
+  bool HasRttSample() const { return Reliable().HasRttSample(); }
+  double SmoothedRtt() const { return Reliable().SmoothedRtt(); }
+  double RttVariance() const { return Reliable().RttVariance(); }
+  uint64_t RtoFloor() const { return Reliable().RtoFloor(); }
+  const LinkStats& data_link_stats() const {
+    return Reliable().data_link_stats();
+  }
+  const LinkStats& ack_link_stats() const {
+    return Reliable().ack_link_stats();
+  }
+
   TransportStats stats() const {
     TransportStats s;
     if (reliable_.has_value()) {

@@ -153,7 +153,7 @@ TEST(GeneratorTest, KeyedWorkloadHasUniqueKeys) {
   Random rng(9);
   Result<Workload> w = MakeKeyedWorkload({50, 5}, &rng);
   ASSERT_TRUE(w.ok());
-  EXPECT_TRUE(w->view->HasAllBaseKeys());
+  EXPECT_TRUE(w->view->KeysProjected());
   for (const auto& [value, count] : ValueHistogram(*w, "r1", "W")) {
     EXPECT_EQ(count, 1) << "W=" << value;
   }

@@ -146,6 +146,53 @@ TEST(JournalTest, ScanIsRepeatableHenceReplayIsIdempotent) {
   EXPECT_TRUE(collect(13, 20).empty());
 }
 
+// Regression: TruncateBelow used to accept a floor past end_lsn(), silently
+// erasing the whole retained log while leaving end_lsn() behind the
+// caller's idea of the checkpoint floor. Nothing past the end can have
+// been checkpointed, so that floor is a caller bug and must be rejected.
+TEST(JournalTest, TruncateBelowRejectsFloorAboveEndLsn) {
+  Journal<std::string> j = MakeStringJournal();
+  ASSERT_TRUE(j.Append(0, "a").ok());
+  ASSERT_TRUE(j.Append(1, "b").ok());
+  EXPECT_EQ(j.TruncateBelow(3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(j.size(), 2u) << "a rejected truncation must not erase records";
+  EXPECT_TRUE(j.TruncateBelow(2).ok());  // exactly end_lsn() is legal
+  EXPECT_TRUE(j.empty());
+  // And on an empty journal the same guard holds against any floor > 0.
+  Journal<std::string> empty = MakeStringJournal();
+  EXPECT_EQ(empty.TruncateBelow(1).code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: Read/Scan used to re-serialize the payload to recompute the
+// checksum, so a serializer that is not bit-stable across calls made every
+// read fail (or worse, mask real corruption). The checksum must cover the
+// image captured at append time, full stop.
+TEST(JournalTest, ChecksumCoversTheAppendTimeImageNotAReserialization) {
+  // A deliberately nondeterministic serializer: every call returns a
+  // different rendering of the same payload.
+  int calls = 0;
+  Journal<std::string> j([&calls](const std::string& s) {
+    return s + "#" + std::to_string(calls++);
+  });
+  ASSERT_TRUE(j.Append(0, "stable-payload").ok());
+  ASSERT_TRUE(j.Append(1, "another").ok());
+  // Reads and scans validate against the stored image: all pass, and the
+  // serializer is never consulted again.
+  const int calls_after_append = calls;
+  Result<const std::string*> r = j.Read(0);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(**r, "stable-payload");
+  ASSERT_TRUE(j.Read(1).ok());
+  int scanned = 0;
+  EXPECT_TRUE(j.Scan(0, 2, [&](uint64_t, const std::string&) {
+                 ++scanned;
+                 return Status::OK();
+               }).ok());
+  EXPECT_EQ(scanned, 2);
+  EXPECT_EQ(calls, calls_after_append)
+      << "validation re-serialized the payload";
+}
+
 // ---------------------------------------------------------------------------
 // Maintainer snapshots: deep copy and restore of the ECA family's state.
 

@@ -41,7 +41,7 @@ view V project W Y where W > 2 and Y != 9
 update insert r1 3 1
 )");
   ASSERT_TRUE(spec.ok()) << spec.status();
-  EXPECT_TRUE(spec->view->HasAllBaseKeys());
+  EXPECT_TRUE(spec->view->KeysProjected());
   EXPECT_NE(spec->view->cond().ToString().find("W > 2"), std::string::npos);
   EXPECT_NE(spec->view->cond().ToString().find("Y != 9"), std::string::npos);
 }

@@ -1,6 +1,6 @@
 // The schema-constraints surface that replaced has_all_base_keys_:
-// derivation from is_key flags, declaration/validation errors, the
-// KeysProjected predicate ECA-Key keys off, and the deprecation shim.
+// derivation from is_key flags, declaration/validation errors, and the
+// KeysProjected predicate ECA-Key keys off.
 #include "query/schema_constraints.h"
 
 #include <gtest/gtest.h>
@@ -102,13 +102,11 @@ TEST(SchemaConstraintsTest, KeysProjectedRequiresEveryDeclaredKey) {
       ViewDefinition::NaturalJoin("V", rels, {"W", "Y"});
   ASSERT_TRUE(both.ok());
   EXPECT_TRUE((*both)->KeysProjected());
-  EXPECT_TRUE((*both)->HasAllBaseKeys());  // deprecated alias agrees
 
   Result<ViewDefinitionPtr> missing =
       ViewDefinition::NaturalJoin("V", rels, {"W", "X"});
   ASSERT_TRUE(missing.ok());
   EXPECT_FALSE((*missing)->KeysProjected());
-  EXPECT_FALSE((*missing)->HasAllBaseKeys());
 }
 
 TEST(SchemaConstraintsTest, EcaKeyRunsOnDeclaredConstraintsOnly) {

@@ -89,25 +89,25 @@ std::vector<BaseRelationDef> KeyedDefs() {
                          {"Y", ValueType::kInt, true}})}};
 }
 
-TEST(ViewDefinitionTest, HasAllBaseKeysWhenKeysProjected) {
+TEST(ViewDefinitionTest, KeysProjectedWhenEveryDeclaredKeySurvives) {
   Result<ViewDefinitionPtr> v =
       ViewDefinition::NaturalJoin("V", KeyedDefs(), {"W", "Y"});
   ASSERT_TRUE(v.ok());
-  EXPECT_TRUE((*v)->HasAllBaseKeys());
+  EXPECT_TRUE((*v)->KeysProjected());
 }
 
 TEST(ViewDefinitionTest, MissingKeyInProjectionDisablesKeys) {
   Result<ViewDefinitionPtr> v =
       ViewDefinition::NaturalJoin("V", KeyedDefs(), {"W"});
   ASSERT_TRUE(v.ok());
-  EXPECT_FALSE((*v)->HasAllBaseKeys());
+  EXPECT_FALSE((*v)->KeysProjected());
 }
 
 TEST(ViewDefinitionTest, NoDeclaredKeysDisablesKeys) {
   Result<ViewDefinitionPtr> v =
       ViewDefinition::NaturalJoin("V", ChainDefs(), {"W", "Z"});
   ASSERT_TRUE(v.ok());
-  EXPECT_FALSE((*v)->HasAllBaseKeys());
+  EXPECT_FALSE((*v)->KeysProjected());
 }
 
 TEST(ViewDefinitionTest, KeyConstraintsMapToOutputColumns) {

@@ -1,0 +1,75 @@
+// Seeded sweep of the WAL crash-fuzz harness (src/recovery/wal_fuzz.h):
+// each seed forks a child that appends with group commit and is killed
+// mid-write(2), then verifies recovery upholds the durability contract —
+// no synced-but-lost record, no LSN hole, byte-identical payloads, and a
+// log that keeps appending. The harness returns Internal naming the seed
+// on any violation, so a red run here is directly replayable.
+#include "recovery/wal_fuzz.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace wvm {
+namespace {
+
+std::string FuzzDir(uint64_t seed) {
+  return (std::filesystem::temp_directory_path() /
+          ("wvm-wal-fuzz-test-" + std::to_string(seed)))
+      .string();
+}
+
+class WalFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalFuzzTest, SeededKillPointUpholdsDurabilityContract) {
+  WalFuzzOptions options;
+  options.seed = GetParam();
+  options.dir = FuzzDir(options.seed);
+  std::error_code ec;
+  std::filesystem::remove_all(options.dir, ec);  // stale state from old runs
+  Result<WalFuzzReport> report = RunWalCrashFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->seed, options.seed);
+  // Everything the child synced must have been recovered.
+  EXPECT_GE(report->recovered_end, report->synced_floor);
+  if (!report->killed) {
+    // Clean-exit seeds still check the plain reopen path end to end.
+    EXPECT_EQ(report->recovered_end, 300u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalFuzzTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(WalFuzzTest, SweepActuallyKillsAndTearsSomewhere) {
+  // The sweep above proves per-seed properties; this proves the harness is
+  // not vacuous — across a seed range, some children die mid-write and at
+  // least one kill lands inside a record (a real torn tail).
+  int killed = 0;
+  int64_t torn = 0;
+  for (uint64_t seed = 100; seed < 116; ++seed) {
+    WalFuzzOptions options;
+    options.seed = seed;
+    options.dir = FuzzDir(seed);
+    std::error_code ec;
+    std::filesystem::remove_all(options.dir, ec);
+    Result<WalFuzzReport> report = RunWalCrashFuzz(options);
+    ASSERT_TRUE(report.ok()) << report.status();
+    killed += report->killed ? 1 : 0;
+    torn += report->torn_tail_truncations;
+  }
+  EXPECT_GT(killed, 0) << "no seed ever died: the kill hook is dead code";
+  EXPECT_GT(torn, 0) << "no kill ever tore a record: the torn-tail "
+                        "recovery path went unexercised";
+}
+
+TEST(WalFuzzTest, RejectsMissingDirectory) {
+  WalFuzzOptions options;
+  options.dir = "";
+  EXPECT_EQ(RunWalCrashFuzz(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wvm
